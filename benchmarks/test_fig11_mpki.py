@@ -1,0 +1,30 @@
+"""Figure 11: L1i MPKI reduction of every scheme over the FDP baseline."""
+
+from conftest import W10, once, reductions_for
+
+from repro.harness.tables import reduction_table
+from test_fig10_speedup import SCHEMES
+
+
+def test_fig11_mpki_reductions(benchmark, runner):
+    def build():
+        return reductions_for(runner, W10, SCHEMES)
+
+    table, avgs = once(benchmark, build)
+    print(
+        "\n"
+        + reduction_table(
+            table,
+            W10,
+            SCHEMES,
+            title="Figure 11: L1i MPKI reduction over LRU + FDP baseline",
+            averages=avgs,
+        )
+    )
+    # ACIC recovers a sizeable share of OPT's reduction (paper: 55.85%).
+    share = avgs["acic"] / avgs["opt"] if avgs["opt"] else 0.0
+    print(f"\nACIC achieves {100 * share:.1f}% of OPT's MPKI reduction")
+    assert avgs["opt"] > 0
+    assert avgs["acic"] > 0
+    assert avgs["acic"] >= avgs["vvc"]
+    assert share > 0.10

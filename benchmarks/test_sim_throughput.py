@@ -1,0 +1,35 @@
+"""Simulator throughput microbenchmarks (true pytest-benchmark timing).
+
+Not a paper artifact: measures the cost of simulating each major scheme
+so regressions in the simulator itself are visible.
+"""
+
+import pytest
+
+from repro.frontend.stack import BranchStack
+from repro.harness.experiment import build_prefetcher
+from repro.harness.schemes import SchemeContext, make_scheme
+from repro.uarch.params import DEFAULT_MACHINE
+from repro.uarch.timing import simulate
+from repro.workloads.profiles import get_workload
+
+RECORDS = 20_000
+
+
+@pytest.fixture(scope="module")
+def bench_trace():
+    return get_workload("media-streaming").trace(records=RECORDS)
+
+
+@pytest.mark.parametrize("scheme_name", ["lru", "acic", "ghrp", "harmony"])
+def test_simulation_throughput(benchmark, bench_trace, scheme_name):
+    ctx = SchemeContext(trace=bench_trace)
+
+    def run_once():
+        scheme = make_scheme(scheme_name, ctx)
+        stack = BranchStack(bench_trace)
+        prefetcher = build_prefetcher("fdp", bench_trace, stack, DEFAULT_MACHINE)
+        return simulate(bench_trace, scheme, prefetcher, stack, DEFAULT_MACHINE)
+
+    result = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert result.accesses > 0

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Policy shootout: a miniature Figure 10 on workloads of your choice.
+
+Compares the major scheme families — replacement (GHRP), bypassing
+(DSB/OBM), victim caches (VC3K/VVC), more SRAM (36 KB), ACIC and the
+OPT oracle — on a subset of the datacenter workloads.
+
+Usage::
+
+    python examples/policy_shootout.py [workload ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.common.stats import geomean
+from repro.harness.runner import Runner
+from repro.harness.tables import speedup_table
+
+SCHEMES = ("ghrp", "dsb", "obm", "vc3k", "vvc", "36kb-l1i", "acic", "opt")
+DEFAULT_WORKLOADS = ("media-streaming", "data-caching", "web-search")
+
+
+def main() -> None:
+    workloads = tuple(sys.argv[1:]) or DEFAULT_WORKLOADS
+    runner = Runner(records=60_000, use_disk_cache=False)
+
+    table = {}
+    for workload in workloads:
+        print(f"simulating {workload}...")
+        table[workload] = {
+            scheme: runner.speedup(workload, scheme) for scheme in SCHEMES
+        }
+    gmeans = {
+        scheme: geomean([table[w][scheme] for w in workloads])
+        for scheme in SCHEMES
+    }
+    print()
+    print(
+        speedup_table(
+            table,
+            workloads,
+            SCHEMES,
+            title="Speedup over LRU + FDP baseline (mini Figure 10)",
+            geomeans=gmeans,
+        )
+    )
+    best_prior = max(
+        (s for s in SCHEMES if s not in ("acic", "opt")), key=gmeans.get
+    )
+    print(
+        f"\nbest prior scheme: {best_prior} ({gmeans[best_prior]:.4f}); "
+        f"ACIC: {gmeans['acic']:.4f}; OPT bound: {gmeans['opt']:.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

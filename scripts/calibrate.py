@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Calibration report: per-workload footprint, MPKI and reuse shape.
+
+Used during profile tuning (not part of the public API).  Prints, for
+each workload: unique blocks, the exact Figure 1a reuse buckets, and
+MPKI under LRU / OPT / ACIC on the FDP baseline, so profile knobs can
+be steered toward the paper's Table III / Figure 1a shapes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis.reuse import reuse_histogram
+from repro.harness import Runner
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(ALL_WORKLOADS)
+    records = int(__import__("os").environ.get("CAL_RECORDS", "80000"))
+    runner = Runner(records=records, use_disk_cache=False)
+    print(
+        f"{'workload':<17} {'uniq':>5} {'d0%':>5} {'1-16':>5} {'-512':>5} "
+        f"{'-1k':>5} {'-10k':>5} {'lru':>6} {'opt':>6} {'acic':>6} "
+        f"{'opt-red':>7} {'acic%':>6} {'t':>5}"
+    )
+    for name in names:
+        t0 = time.time()
+        trace = get_workload(name).trace(records=records)
+        hist = reuse_histogram(trace.blocks, name).percentages()
+        lru = runner.run(name, "lru")
+        opt = runner.run(name, "opt")
+        acic = runner.run(name, "acic")
+        opt_red = opt.mpki_reduction_over(lru)
+        acic_frac = (
+            100 * (lru.mpki - acic.mpki) / (lru.mpki - opt.mpki)
+            if lru.mpki > opt.mpki
+            else 0.0
+        )
+        print(
+            f"{name:<17} {trace.unique_blocks:>5} "
+            f"{hist['0']:>5.1f} {hist['1-16']:>5.1f} {hist['16-512']:>5.1f} "
+            f"{hist['512-1024']:>5.1f} {hist['1024-10000']:>5.1f} "
+            f"{lru.mpki:>6.2f} {opt.mpki:>6.2f} {acic.mpki:>6.2f} "
+            f"{opt_red:>6.1f}% {acic_frac:>5.1f}% {time.time()-t0:>4.0f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Offline analyses: reuse distances, Markov chains, storage, energy."""
+
+from repro.analysis.comparisons import (
+    CSHRLifetimeDistribution,
+    DeltaHistogram,
+    cshr_lifetime_distribution,
+    ifilter_insertion_deltas,
+)
+from repro.analysis.energy import (
+    EnergyBreakdown,
+    EnergyParams,
+    acic_energy_saving_percent,
+    run_energy,
+)
+from repro.analysis.markov import ReuseMarkovChain, reuse_markov_chain
+from repro.analysis.reuse import (
+    FIG1A_BUCKETS,
+    ReuseHistogram,
+    reuse_histogram,
+    stack_distances,
+)
+from repro.analysis.storage import (
+    ACICStorageConfig,
+    PAPER_STORAGE_KB,
+    acic_storage_bits,
+    acic_storage_kb,
+    scheme_storage_kb,
+)
+
+__all__ = [
+    "CSHRLifetimeDistribution",
+    "DeltaHistogram",
+    "cshr_lifetime_distribution",
+    "ifilter_insertion_deltas",
+    "EnergyBreakdown",
+    "EnergyParams",
+    "acic_energy_saving_percent",
+    "run_energy",
+    "ReuseMarkovChain",
+    "reuse_markov_chain",
+    "FIG1A_BUCKETS",
+    "ReuseHistogram",
+    "reuse_histogram",
+    "stack_distances",
+    "ACICStorageConfig",
+    "PAPER_STORAGE_KB",
+    "acic_storage_bits",
+    "acic_storage_kb",
+    "scheme_storage_kb",
+]

@@ -1,0 +1,145 @@
+"""Analytic chip-energy model (Section III-D's 0.63 % saving).
+
+The paper runs McPAT + CACTI 7 at 22 nm.  We reproduce the *structure*
+of that estimate with an analytic model:
+
+* per-access energy of an SRAM structure follows a sub-linear power
+  law in its capacity (CACTI's bitline/decoder scaling);
+* leakage power is proportional to capacity;
+* core dynamic energy is charged per instruction, and total leakage is
+  charged over the execution time, so a scheme that runs faster saves
+  leakage and a scheme that misses less saves L2/L3 access energy —
+  exactly the trade-off that lets ACIC come out ahead despite adding
+  structures.
+
+Absolute joules are meaningless here; only *relative* chip energy
+between schemes is reported, matching how the paper uses the model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.storage import ACICStorageConfig, acic_storage_bits
+from repro.uarch.timing import RunResult
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Technology constants (arbitrary but internally consistent units)."""
+
+    sram_access_coeff_pj: float = 0.006
+    sram_access_exponent: float = 0.75
+    sram_leak_w_per_kb: float = 0.002
+    core_dynamic_pj_per_instr: float = 150.0
+    core_leak_w: float = 1.2
+    l2_access_pj: float = 60.0
+    l3_access_pj: float = 180.0
+    cycle_seconds: float = 0.25e-9  # 4 GHz
+    #: Fraction of fetches that probe the CSHR/predictor (only block
+    #: transitions do; same-block fetch groups skip the search).
+    acic_probe_fraction: float = 0.25
+
+
+def sram_access_energy(size_bytes: float, params: EnergyParams) -> float:
+    """CACTI-like per-access energy (pJ) for an SRAM of ``size_bytes``.
+
+    A sub-linear power law: CACTI's bitline/decoder scaling makes a
+    32 KB cache ~13x costlier per access than a 1 KB buffer, which the
+    0.75 exponent reproduces (a square-root law undersells the gap and
+    overtaxes ACIC's small structures).
+    """
+    if size_bytes <= 0:
+        return 0.0
+    return params.sram_access_coeff_pj * size_bytes**params.sram_access_exponent
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joule-scale components of one run's chip energy."""
+
+    core_dynamic: float
+    l1i_dynamic: float
+    extra_dynamic: float
+    next_level_dynamic: float
+    leakage: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.core_dynamic
+            + self.l1i_dynamic
+            + self.extra_dynamic
+            + self.next_level_dynamic
+            + self.leakage
+        )
+
+
+def run_energy(
+    run: RunResult,
+    extra_structures_bits: Dict[str, int] | None = None,
+    l1i_bytes: int = 32 * 1024,
+    params: EnergyParams | None = None,
+) -> EnergyBreakdown:
+    """Estimate chip energy for one run.
+
+    ``extra_structures_bits`` maps structure name -> bits for any state
+    the scheme adds beyond the baseline L1i (use
+    :func:`repro.analysis.storage.acic_storage_bits` for ACIC).
+    """
+    params = params or EnergyParams()
+    extra_structures_bits = extra_structures_bits or {}
+
+    seconds = run.cycles * params.cycle_seconds
+    pj = 1e-12
+
+    core_dynamic = run.instructions * params.core_dynamic_pj_per_instr * pj
+    l1i_dynamic = run.accesses * sram_access_energy(l1i_bytes, params) * pj
+
+    extra_bytes = sum(extra_structures_bits.values()) / 8
+    # Per-structure probe energy: the i-Filter is probed every fetch in
+    # parallel with the L1i; the CSHR/HRT/PT path runs only on block
+    # transitions (~acic_probe_fraction of fetches).
+    extra_dynamic = 0.0
+    for name, bits in extra_structures_bits.items():
+        rate = 1.0 if "Filter" in name else params.acic_probe_fraction
+        extra_dynamic += (
+            run.accesses * rate * sram_access_energy(bits / 8, params) * pj
+        )
+
+    next_level = run.demand_misses + run.prefetches_issued
+    next_level_dynamic = next_level * params.l2_access_pj * pj
+
+    leak_w = (
+        params.core_leak_w
+        + (l1i_bytes / 1024 + extra_bytes / 1024) * params.sram_leak_w_per_kb
+    )
+    leakage = leak_w * seconds
+
+    return EnergyBreakdown(
+        core_dynamic=core_dynamic,
+        l1i_dynamic=l1i_dynamic,
+        extra_dynamic=extra_dynamic,
+        next_level_dynamic=next_level_dynamic,
+        leakage=leakage,
+    )
+
+
+def acic_energy_saving_percent(
+    acic_run: RunResult,
+    baseline_run: RunResult,
+    config: ACICStorageConfig | None = None,
+) -> float:
+    """Chip-energy saving of ACIC over the baseline (positive = saves).
+
+    The paper reports 0.63 % average chip-energy saving despite ACIC's
+    extra structures, because the speedup cuts leakage-time and the miss
+    reduction cuts L2 traffic.
+    """
+    acic = run_energy(acic_run, acic_storage_bits(config))
+    base = run_energy(baseline_run)
+    if base.total == 0:
+        raise ValueError("baseline run has zero energy; empty trace?")
+    return 100.0 * (base.total - acic.total) / base.total

@@ -1,0 +1,76 @@
+"""Figure 1b: Markov chain over reuse-distance buckets.
+
+Each state is a Figure 1a bucket; the transition probability from state
+``a`` to ``b`` is how often a block whose last reuse distance fell in
+``a`` next reuses at a distance in ``b``.  Heavy self-transitions in
+the smallest states are the paper's evidence of burstiness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.analysis.reuse import successive_distance_pairs
+
+#: State labels matching Figure 1a/1b.
+MARKOV_STATES = ("0", "1-16", "16-512", "512-1024", "1024-10000", ">10000")
+
+#: Stack-distance edges separating the states.
+MARKOV_EDGES = (1, 17, 513, 1025, 10001)
+
+
+@dataclass
+class ReuseMarkovChain:
+    """Transition structure of successive reuse distances."""
+
+    workload: str
+    counts: np.ndarray      # (n_states, n_states) transition counts
+    states: Sequence[str] = MARKOV_STATES
+
+    def transition_matrix(self) -> np.ndarray:
+        """Row-normalised probabilities (rows with no mass stay zero)."""
+        counts = self.counts.astype(float)
+        row_sums = counts.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            probs = np.where(row_sums > 0, counts / row_sums, 0.0)
+        return probs
+
+    def self_transition(self, state: str) -> float:
+        idx = list(self.states).index(state)
+        return float(self.transition_matrix()[idx, idx])
+
+    def burstiness_score(self) -> float:
+        """Probability mass flowing into the two shortest-distance states.
+
+        The paper's reading of Figure 1b: transitions into state "0"
+        (and "1-16") dominate from everywhere — once referenced, a block
+        keeps being referenced.
+        """
+        probs = self.transition_matrix()
+        weights = self.counts.sum(axis=1).astype(float)
+        if weights.sum() == 0:
+            return 0.0
+        into_short = probs[:, 0] + probs[:, 1]
+        return float((into_short * weights).sum() / weights.sum())
+
+    def format(self) -> str:
+        """Plain-text rendering of the transition matrix."""
+        probs = self.transition_matrix()
+        width = max(len(s) for s in self.states) + 2
+        lines = [
+            f"Markov chain of reuse distances — {self.workload}",
+            " " * width + "".join(s.rjust(width) for s in self.states),
+        ]
+        for i, state in enumerate(self.states):
+            row = "".join(f"{probs[i, j]:>{width}.3f}" for j in range(len(self.states)))
+            lines.append(state.rjust(width) + row)
+        return "\n".join(lines)
+
+
+def reuse_markov_chain(blocks, workload: str = "trace") -> ReuseMarkovChain:
+    """Build the Figure 1b chain for a block-access sequence."""
+    counts = successive_distance_pairs(blocks, edges=MARKOV_EDGES)
+    return ReuseMarkovChain(workload=workload, counts=counts)

@@ -1,0 +1,35 @@
+"""Shared low-level building blocks used by every substrate.
+
+This package deliberately contains only dependency-free primitives:
+bit manipulation helpers, fast LRU containers, saturating counters and
+shift-register histories, and summary statistics.  Higher layers (the
+cache model, ACIC, the harness) compose these.
+"""
+
+from repro.common.bitops import (
+    block_of,
+    fold_hash,
+    is_power_of_two,
+    log2_exact,
+    mask,
+    partial_tag,
+)
+from repro.common.containers import FullyAssociativeLRU, LRUSet
+from repro.common.counters import HistoryRegister, SaturatingCounter
+from repro.common.stats import RunningMean, geomean, percent
+
+__all__ = [
+    "block_of",
+    "fold_hash",
+    "is_power_of_two",
+    "log2_exact",
+    "mask",
+    "partial_tag",
+    "FullyAssociativeLRU",
+    "LRUSet",
+    "HistoryRegister",
+    "SaturatingCounter",
+    "RunningMean",
+    "geomean",
+    "percent",
+]

@@ -1,0 +1,88 @@
+"""Summary statistics used when reporting experiment results.
+
+The paper reports geometric-mean speedups and arithmetic-mean MPKI
+reductions; both helpers live here so every bench formats numbers the
+same way.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    Raises ValueError on an empty sequence or non-positive entries —
+    a speedup of zero or below always indicates a harness bug, so we
+    fail loudly instead of propagating NaNs into result tables.
+    """
+    log_sum = 0.0
+    count = 0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geomean requires positive values, got {v}")
+        log_sum += math.log(v)
+        count += 1
+    if count == 0:
+        raise ValueError("geomean of empty sequence")
+    return math.exp(log_sum / count)
+
+
+def percent(part: float, whole: float) -> float:
+    """``part / whole`` as a percentage; 0.0 when ``whole`` is zero."""
+    if whole == 0:
+        return 0.0
+    return 100.0 * part / whole
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+class RunningMean:
+    """Streaming arithmetic mean (used by per-access statistics)."""
+
+    __slots__ = ("count", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+
+    @property
+    def value(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunningMean(count={self.count}, value={self.value:.4f})"
+
+
+def histogram(values: Iterable[float], edges: Sequence[float]) -> list[int]:
+    """Bucket ``values`` into ``len(edges) + 1`` bins.
+
+    Bin ``i`` counts values ``v`` with ``edges[i-1] <= v < edges[i]``;
+    the final bin is ``v >= edges[-1]``.  Edges must be increasing.
+    """
+    edges = list(edges)
+    for prev, nxt in zip(edges, edges[1:]):
+        if nxt <= prev:
+            raise ValueError(f"histogram edges must increase: {edges}")
+    counts = [0] * (len(edges) + 1)
+    for v in values:
+        placed = False
+        for i, edge in enumerate(edges):
+            if v < edge:
+                counts[i] += 1
+                placed = True
+                break
+        if not placed:
+            counts[-1] += 1
+    return counts

@@ -1,0 +1,33 @@
+"""The paper's contribution: the Admission-Controlled Instruction Cache.
+
+* :class:`IFilter` — the 16-entry burst-absorbing buffer (Section II).
+* :class:`CSHR` — comparison status holding registers (Section III-B/C).
+* :class:`TwoLevelAdmissionPredictor` — the HRT + PT predictor
+  (Section III-A), with global-history and bimodal ablation variants.
+* :class:`ACICScheme` — the assembled mechanism (Figures 2-8).
+"""
+
+from repro.core.controller import ACICScheme, ACICStats, AdmissionAudit
+from repro.core.cshr import CSHR, CSHREntry
+from repro.core.ifilter import IFilter
+from repro.core.predictor import (
+    AdmissionPredictor,
+    AlwaysAdmitPredictor,
+    BimodalAdmissionPredictor,
+    GlobalHistoryAdmissionPredictor,
+    TwoLevelAdmissionPredictor,
+)
+
+__all__ = [
+    "ACICScheme",
+    "ACICStats",
+    "AdmissionAudit",
+    "CSHR",
+    "CSHREntry",
+    "IFilter",
+    "AdmissionPredictor",
+    "AlwaysAdmitPredictor",
+    "BimodalAdmissionPredictor",
+    "GlobalHistoryAdmissionPredictor",
+    "TwoLevelAdmissionPredictor",
+]

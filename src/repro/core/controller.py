@@ -1,0 +1,245 @@
+"""The ACIC scheme: i-Filter + CSHR + admission predictor (Figures 2-8).
+
+``ACICScheme`` implements the L1I-scheme protocol the timing engine
+drives (``lookup`` / ``fill`` / ``prefetch_fill`` / ``contains``):
+
+1. every demand fetch first resolves any CSHR comparisons the fetched
+   block settles, training the admission predictor;
+2. fetches probe the i-Filter and i-cache in parallel;
+3. misses (demand and prefetch) fill the *i-Filter only*;
+4. an i-Filter eviction triggers the admission decision: the predictor
+   compares the victim against the LRU *contender* of its i-cache set —
+   admit (replace the contender) or drop — and a CSHR entry is opened
+   so the decision's ground truth can train the predictor later;
+5. CSHR entries evicted unresolved give the victim the benefit of the
+   doubt (trained as if it won).
+
+Constructor flags expose every ablation in the paper: ``use_ifilter``
+(Figure 17's "no i-Filter"), ``always_insert`` (Figure 3a / "i-Filter
+only"), the predictor variants (global-history / bimodal), and the
+parallel-vs-instant PT update mode (Figure 14).  An optional
+``audit_oracle`` records decision ground truth for Figures 12a/13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.bitops import partial_tag
+from repro.core.cshr import CSHR
+from repro.core.ifilter import IFilter
+from repro.core.predictor import AdmissionPredictor, TwoLevelAdmissionPredictor
+from repro.mem.cache import CacheConfig, SetAssociativeCache
+from repro.mem.oracle import NEVER, NextUseOracle
+from repro.mem.policies.lru import LRUPolicy
+
+
+@dataclass
+class AdmissionAudit:
+    """Ground-truth log of admission decisions (Figure 12a/13).
+
+    Each decision records whether ACIC admitted the victim, and the
+    oracle reuse distances (in trace records) of the victim and the
+    contender at decision time.
+    """
+
+    admitted: List[bool] = field(default_factory=list)
+    victim_distance: List[int] = field(default_factory=list)
+    contender_distance: List[int] = field(default_factory=list)
+
+    def accuracy(self, distance_cap: Optional[int] = None) -> float:
+        """Fraction of correct decisions among decisions that *matter*.
+
+        A decision matters when the two reuse distances differ and, if
+        ``distance_cap`` is given, when ``min(d_v, d_c) < distance_cap``
+        (Figure 12a's bucketing: accuracy only counts when at least one
+        block would plausibly be re-accessed while cached).
+        """
+        correct = considered = 0
+        for admit, d_v, d_c in zip(
+            self.admitted, self.victim_distance, self.contender_distance
+        ):
+            if d_v == d_c:
+                continue
+            if distance_cap is not None and min(d_v, d_c) >= distance_cap:
+                continue
+            considered += 1
+            if admit == (d_v < d_c):
+                correct += 1
+        return correct / considered if considered else 0.0
+
+    def __len__(self) -> int:
+        return len(self.admitted)
+
+
+@dataclass
+class ACICStats:
+    victims_considered: int = 0
+    victims_admitted: int = 0
+    free_way_fills: int = 0
+    benefit_of_doubt_trainings: int = 0
+
+    @property
+    def admission_rate(self) -> float:
+        """Figure 13's metric: fraction of i-Filter victims admitted."""
+        if not self.victims_considered:
+            return 0.0
+        return self.victims_admitted / self.victims_considered
+
+
+class ACICScheme:
+    """Admission-controlled instruction cache (the paper's contribution)."""
+
+    name = "acic"
+
+    #: How CSHR entries evicted before resolution train the predictor:
+    #: "victim" = the paper's benefit of the doubt (treated as if the
+    #: victim won), "contender" = the opposite, "none" = no training.
+    UNRESOLVED_POLICIES = ("victim", "contender", "none")
+
+    def __init__(
+        self,
+        icache_config: Optional[CacheConfig] = None,
+        predictor: Optional[AdmissionPredictor] = None,
+        ifilter_slots: int = 16,
+        cshr: Optional[CSHR] = None,
+        tag_bits: int = 12,
+        use_ifilter: bool = True,
+        always_insert: bool = False,
+        unresolved_policy: str = "victim",
+        audit_oracle: Optional[NextUseOracle] = None,
+    ) -> None:
+        if unresolved_policy not in self.UNRESOLVED_POLICIES:
+            raise ValueError(
+                f"unresolved_policy must be one of {self.UNRESOLVED_POLICIES}, "
+                f"got {unresolved_policy!r}"
+            )
+        self.config = icache_config or CacheConfig(32 * 1024, 8, name="L1i")
+        self.icache = SetAssociativeCache(self.config, LRUPolicy())
+        self.predictor = predictor or TwoLevelAdmissionPredictor(tag_bits=tag_bits)
+        self.use_ifilter = use_ifilter
+        self.always_insert = always_insert
+        self.ifilter = IFilter(ifilter_slots) if use_ifilter else None
+        self.cshr = cshr or CSHR(
+            tag_bits=tag_bits, icache_set_bits=self.config.set_index_bits
+        )
+        self.tag_bits = tag_bits
+        self.unresolved_policy = unresolved_policy
+        self.audit_oracle = audit_oracle
+        self.audit = AdmissionAudit() if audit_oracle is not None else None
+        self.stats = ACICStats()
+        self._last_resolved_block = -1
+
+    # -- CSHR resolution -------------------------------------------------------
+
+    def _resolve_comparisons(self, block: int, cycle: int) -> None:
+        """Settle any CSHR entries the fetch of ``block`` resolves.
+
+        Consecutive fetch groups from the same block cannot produce new
+        matches (the first fetch already invalidated them), so we skip
+        repeat searches — mirroring hardware, where the comparison is
+        made once per block transition.
+        """
+        if block == self._last_resolved_block:
+            return
+        self._last_resolved_block = block
+        icache_set = self.icache.set_index(block)
+        victim_match, contender_matches = self.cshr.search(block, icache_set)
+        if victim_match is not None:
+            self.predictor.train(victim_match.victim_tag, True, cycle)
+        for entry in contender_matches:
+            self.predictor.train(entry.victim_tag, False, cycle)
+
+    # -- admission -------------------------------------------------------------
+
+    def _admission_decision(self, victim: int, t: int, cycle: int) -> None:
+        """Decide the fate of an i-Filter victim (or raw miss, no-filter mode)."""
+        contender = self.icache.lru_contender(victim)
+        if contender is None:
+            # Free way available: no contender, no comparison to learn from.
+            self.icache.fill(victim, t)
+            self.stats.free_way_fills += 1
+            return
+
+        victim_tag = partial_tag(victim, self.tag_bits)
+        if self.always_insert:
+            admit = True
+        else:
+            admit = self.predictor.predict(victim_tag, cycle)
+        self.stats.victims_considered += 1
+        if admit:
+            self.stats.victims_admitted += 1
+
+        if self.audit is not None:
+            oracle = self.audit_oracle
+            d_v = oracle.next_use_of(victim, t)
+            d_c = oracle.next_use_of(contender, t)
+            self.audit.admitted.append(admit)
+            self.audit.victim_distance.append(
+                NEVER if d_v >= NEVER else d_v - t
+            )
+            self.audit.contender_distance.append(
+                NEVER if d_c >= NEVER else d_c - t
+            )
+
+        if admit:
+            self.icache.fill(victim, t)
+
+        # Open the comparison regardless of the decision: the predictor
+        # learns from the outcome either way (Figure 5).
+        evicted = self.cshr.insert(
+            victim, contender, self.icache.set_index(victim)
+        )
+        if evicted is not None and self.unresolved_policy != "none":
+            # Paper default ("victim"): benefit of the doubt — the
+            # unresolved victim is treated as the winner.
+            self.predictor.train(
+                evicted.victim_tag, self.unresolved_policy == "victim", cycle
+            )
+            self.stats.benefit_of_doubt_trainings += 1
+
+    # -- L1I scheme protocol ------------------------------------------------------
+
+    def lookup(self, block: int, t: int, cycle: int) -> bool:
+        """Demand fetch: resolve comparisons, then probe filter + cache."""
+        self._resolve_comparisons(block, cycle)
+        if self.ifilter is not None and self.ifilter.lookup(block):
+            return True
+        return self.icache.lookup(block, t)
+
+    def fill(self, block: int, t: int, cycle: int) -> None:
+        """A demand miss returned from the hierarchy."""
+        self._fill(block, t, cycle)
+
+    def prefetch_fill(self, block: int, t: int, cycle: int) -> None:
+        """A prefetched block arrived (prefetches also land in the i-Filter)."""
+        self._fill(block, t, cycle)
+
+    def _fill(self, block: int, t: int, cycle: int) -> None:
+        if self.ifilter is None:
+            # Figure 17 "no i-Filter": admission control on the raw miss.
+            self._admission_decision(block, t, cycle)
+            return
+        victim = self.ifilter.fill(block)
+        if victim is not None:
+            self._admission_decision(victim, t, cycle)
+
+    def contains(self, block: int) -> bool:
+        if self.ifilter is not None and block in self.ifilter:
+            return True
+        return self.icache.contains(block)
+
+    @property
+    def demand_stats(self):
+        return self.icache.stats
+
+    def reset(self) -> None:
+        self.icache.reset()
+        if self.ifilter is not None:
+            self.ifilter.reset()
+        self.cshr.reset()
+        self.predictor.reset()
+        self.stats = ACICStats()
+        self.audit = AdmissionAudit() if self.audit_oracle is not None else None
+        self._last_resolved_block = -1

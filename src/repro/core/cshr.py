@@ -1,0 +1,140 @@
+"""CSHR: Comparison Status Holding Registers (Section III-B/III-C).
+
+The CSHR tracks unresolved (i-Filter victim, i-cache contender) pairs.
+When a later fetch matches the victim's partial tag, the victim "won"
+(it was re-accessed sooner); matching the contender's tag means the
+contender won.  Either resolution trains the admission predictor and
+frees the entry.
+
+Geometry (Table I): 256 entries organised as 8 sets x 32 ways; a pair
+is placed in the set selected by the 3 most-significant bits of the
+i-cache set index both blocks map to, so a fetched block's lookup only
+searches one 32-entry set.  Entries store 12-bit partial tags (2 x 12
+bits + valid + 5 LRU bits).  Entries evicted before resolution get the
+benefit of the doubt: the controller treats the victim as the winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.bitops import partial_tag
+
+
+@dataclass
+class CSHRStats:
+    inserts: int = 0
+    victim_resolutions: int = 0
+    contender_resolutions: int = 0
+    unresolved_evictions: int = 0
+
+    @property
+    def resolutions(self) -> int:
+        return self.victim_resolutions + self.contender_resolutions
+
+
+@dataclass
+class CSHREntry:
+    """One outstanding comparison (partial tags only, as in hardware)."""
+
+    victim_tag: int
+    contender_tag: int
+
+
+class CSHR:
+    """Set-associative comparison tracker with per-set LRU."""
+
+    def __init__(
+        self,
+        entries: int = 256,
+        sets: int = 8,
+        tag_bits: int = 12,
+        icache_set_bits: int = 6,
+    ) -> None:
+        if entries % sets:
+            raise ValueError(f"{entries} entries not divisible into {sets} sets")
+        if sets.bit_length() - 1 > icache_set_bits:
+            raise ValueError(
+                f"{sets} CSHR sets need more selector bits than the "
+                f"{icache_set_bits}-bit i-cache set index provides"
+            )
+        self.entries = entries
+        self.sets = sets
+        self.ways = entries // sets
+        self.tag_bits = tag_bits
+        self._set_shift = icache_set_bits - (sets.bit_length() - 1)
+        # Each set is a recency-ordered list of CSHREntry (index 0 = LRU).
+        self._sets: List[List[CSHREntry]] = [[] for _ in range(sets)]
+        self.stats = CSHRStats()
+
+    # -- indexing ----------------------------------------------------------------
+
+    def set_for(self, icache_set: int) -> int:
+        """CSHR set = the m most-significant bits of the i-cache set index."""
+        return icache_set >> self._set_shift
+
+    def tag_of(self, block: int) -> int:
+        return partial_tag(block, self.tag_bits)
+
+    # -- operations ----------------------------------------------------------------
+
+    def insert(
+        self, victim_block: int, contender_block: int, icache_set: int
+    ) -> Optional[CSHREntry]:
+        """Open a comparison; returns an evicted *unresolved* entry, if any.
+
+        The caller must apply the benefit-of-the-doubt training for the
+        returned entry.
+        """
+        self.stats.inserts += 1
+        entries = self._sets[self.set_for(icache_set)]
+        evicted = None
+        if len(entries) >= self.ways:
+            evicted = entries.pop(0)
+            self.stats.unresolved_evictions += 1
+        entries.append(
+            CSHREntry(
+                victim_tag=self.tag_of(victim_block),
+                contender_tag=self.tag_of(contender_block),
+            )
+        )
+        return evicted
+
+    def search(
+        self, block: int, icache_set: int
+    ) -> Tuple[Optional[CSHREntry], List[CSHREntry]]:
+        """Resolve comparisons for a fetched block.
+
+        Returns ``(victim_match, contender_matches)``: the fetched block
+        can match the victim field of at most one entry (Section III-C2)
+        but the contender field of several.  All matched entries are
+        invalidated (removed).
+        """
+        entries = self._sets[self.set_for(icache_set)]
+        if not entries:
+            return None, []
+        tag = self.tag_of(block)
+        victim_match: Optional[CSHREntry] = None
+        contender_matches: List[CSHREntry] = []
+        survivors: List[CSHREntry] = []
+        for entry in entries:
+            if victim_match is None and entry.victim_tag == tag:
+                victim_match = entry
+                self.stats.victim_resolutions += 1
+            elif entry.contender_tag == tag:
+                contender_matches.append(entry)
+                self.stats.contender_resolutions += 1
+            else:
+                survivors.append(entry)
+        if victim_match is not None or contender_matches:
+            self._sets[self.set_for(icache_set)] = survivors
+        return victim_match, contender_matches
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def reset(self) -> None:
+        for s in self._sets:
+            s.clear()
+        self.stats = CSHRStats()

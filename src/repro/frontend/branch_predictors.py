@@ -1,0 +1,214 @@
+"""Conditional branch direction predictors: bimodal, gshare, TAGE.
+
+Table II's machine uses TAGE [Seznec & Michaud].  The simpler bimodal
+and gshare predictors double as the ablation variants of ACIC's
+admission predictor (Figure 17 replaces the two-level structure with a
+bimodal / global-history predictor) and as test baselines.
+
+All predictors share one interface: ``predict(site) -> bool`` then
+``update(site, taken)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.bitops import fold_hash, mask
+
+
+@dataclass
+class PredictorStats:
+    predictions: int = 0
+    correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 0.0
+
+
+class BimodalPredictor:
+    """Per-site 2-bit saturating counters, no history."""
+
+    def __init__(self, table_bits: int = 13, counter_bits: int = 2) -> None:
+        self.table_bits = table_bits
+        self.counter_max = mask(counter_bits)
+        self.threshold = (self.counter_max + 1) // 2
+        self.table = [self.threshold] * (1 << table_bits)
+        self.stats = PredictorStats()
+
+    def predict(self, site: int) -> bool:
+        return self.table[fold_hash(site, self.table_bits)] >= self.threshold
+
+    def update(self, site: int, taken: bool) -> None:
+        idx = fold_hash(site, self.table_bits)
+        prediction = self.table[idx] >= self.threshold
+        self.stats.predictions += 1
+        if prediction == taken:
+            self.stats.correct += 1
+        if taken:
+            if self.table[idx] < self.counter_max:
+                self.table[idx] += 1
+        elif self.table[idx] > 0:
+            self.table[idx] -= 1
+
+
+class GsharePredictor:
+    """Global-history XOR site indexing into one counter table."""
+
+    def __init__(
+        self, table_bits: int = 14, history_bits: int = 12, counter_bits: int = 2
+    ) -> None:
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self.counter_max = mask(counter_bits)
+        self.threshold = (self.counter_max + 1) // 2
+        self.table = [self.threshold] * (1 << table_bits)
+        self.ghr = 0
+        self.stats = PredictorStats()
+
+    def _index(self, site: int) -> int:
+        return fold_hash(site ^ (self.ghr << 7), self.table_bits)
+
+    def predict(self, site: int) -> bool:
+        return self.table[self._index(site)] >= self.threshold
+
+    def update(self, site: int, taken: bool) -> None:
+        idx = self._index(site)
+        prediction = self.table[idx] >= self.threshold
+        self.stats.predictions += 1
+        if prediction == taken:
+            self.stats.correct += 1
+        if taken:
+            if self.table[idx] < self.counter_max:
+                self.table[idx] += 1
+        elif self.table[idx] > 0:
+            self.table[idx] -= 1
+        self.ghr = ((self.ghr << 1) | int(taken)) & mask(self.history_bits)
+
+
+class _TageEntry:
+    __slots__ = ("tag", "counter", "useful")
+
+    def __init__(self, tag: int, counter: int) -> None:
+        self.tag = tag
+        self.counter = counter
+        self.useful = 0
+
+
+class TagePredictor:
+    """A compact TAGE: bimodal base + N partially-tagged geometric tables.
+
+    Faithful to the TAGE structure (geometric history lengths, tagged
+    components, provider/altpred selection, useful counters, allocation
+    on mispredict) while staying small enough for a Python hot loop.
+    """
+
+    def __init__(
+        self,
+        num_tables: int = 4,
+        table_bits: int = 10,
+        tag_bits: int = 9,
+        min_history: int = 4,
+        max_history: int = 64,
+        counter_bits: int = 3,
+    ) -> None:
+        self.num_tables = num_tables
+        self.table_bits = table_bits
+        self.tag_bits = tag_bits
+        self.counter_max = mask(counter_bits)
+        self.threshold = (self.counter_max + 1) // 2
+        # Geometric history lengths between min and max.
+        ratio = (max_history / min_history) ** (1 / max(1, num_tables - 1))
+        self.history_lengths = [
+            max(1, round(min_history * ratio**i)) for i in range(num_tables)
+        ]
+        self.tables: List[List[Optional[_TageEntry]]] = [
+            [None] * (1 << table_bits) for _ in range(num_tables)
+        ]
+        self.base = BimodalPredictor(table_bits=12, counter_bits=2)
+        self.ghr = 0
+        self.stats = PredictorStats()
+        self._alloc_seed = 0x9E37
+
+    def _fold_history(self, length: int, bits: int) -> int:
+        """Fold the most recent ``length`` history bits down to ``bits``."""
+        h = self.ghr & mask(length)
+        folded = 0
+        while h:
+            folded ^= h & mask(bits)
+            h >>= bits
+        return folded
+
+    def _index(self, table: int, site: int) -> int:
+        folded = self._fold_history(self.history_lengths[table], self.table_bits)
+        return fold_hash(site ^ (folded << 1) ^ table, self.table_bits)
+
+    def _tag(self, table: int, site: int) -> int:
+        folded = self._fold_history(self.history_lengths[table], self.tag_bits)
+        return fold_hash(site ^ (folded << 3) ^ (table << 7), self.tag_bits)
+
+    def _provider(self, site: int):
+        """Longest-history matching component, or None."""
+        for table in range(self.num_tables - 1, -1, -1):
+            idx = self._index(table, site)
+            entry = self.tables[table][idx]
+            if entry is not None and entry.tag == self._tag(table, site):
+                return table, idx, entry
+        return None
+
+    def predict(self, site: int) -> bool:
+        provider = self._provider(site)
+        if provider is not None:
+            return provider[2].counter >= self.threshold
+        return self.base.predict(site)
+
+    def update(self, site: int, taken: bool) -> None:
+        provider = self._provider(site)
+        if provider is not None:
+            table, idx, entry = provider
+            prediction = entry.counter >= self.threshold
+        else:
+            table, idx, entry = -1, -1, None
+            prediction = self.base.predict(site)
+        self.stats.predictions += 1
+        correct = prediction == taken
+        if correct:
+            self.stats.correct += 1
+
+        if entry is not None:
+            if taken:
+                if entry.counter < self.counter_max:
+                    entry.counter += 1
+            elif entry.counter > 0:
+                entry.counter -= 1
+            if correct and entry.useful < 3:
+                entry.useful += 1
+            elif not correct and entry.useful > 0:
+                entry.useful -= 1
+        # The base predictor always trains (it is the fallback).
+        self.base.update(site, taken)
+
+        if not correct:
+            self._allocate(site, taken, from_table=table + 1)
+
+        self.ghr = ((self.ghr << 1) | int(taken)) & mask(1024)
+
+    def _allocate(self, site: int, taken: bool, from_table: int) -> None:
+        """On mispredict, claim an entry in a longer-history table."""
+        for table in range(from_table, self.num_tables):
+            idx = self._index(table, site)
+            entry = self.tables[table][idx]
+            if entry is None or entry.useful == 0:
+                counter = self.threshold if taken else self.threshold - 1
+                self.tables[table][idx] = _TageEntry(self._tag(table, site), counter)
+                return
+            entry.useful -= 1  # age the blocker; try the next table
+
+    def reset(self) -> None:
+        for table in self.tables:
+            for i in range(len(table)):
+                table[i] = None
+        self.base = BimodalPredictor(table_bits=12, counter_bits=2)
+        self.ghr = 0
+        self.stats = PredictorStats()

@@ -1,0 +1,95 @@
+"""Entangling instruction prefetcher (Ros & Jimborean, ISCA'21).
+
+The entangling prefetcher pairs each demand miss (the *destination*)
+with the block whose fetch happened just early enough that a prefetch
+issued there would have arrived in time (the *source*): the two blocks
+are "entangled".  From then on, fetching the source triggers a prefetch
+of its destinations.
+
+Model: a ring of recent fetches (cycle, block) provides the timeliness
+lookup; a 4K-entry table maps source -> up to two destinations with LRU
+replacement across entries, matching the paper's 4K-entry entangled
+table (Section IV-H4; ~40 KB of state, larger than the L1i itself).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Tuple
+
+from repro.common.containers import FullyAssociativeLRU
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class EntanglingStats:
+    entangled: int = 0
+    issued: int = 0
+    table_evictions: int = 0
+
+
+class EntanglingPrefetcher:
+    """Source->destination entangling with timeliness-based pairing."""
+
+    name = "entangling"
+
+    def __init__(
+        self,
+        trace: Trace,
+        table_entries: int = 4096,
+        dests_per_entry: int = 2,
+        latency_estimate: int = 40,
+        history: int = 512,
+    ) -> None:
+        self.trace = trace
+        self.dests_per_entry = dests_per_entry
+        self.latency_estimate = latency_estimate
+        self.table = FullyAssociativeLRU(table_entries)
+        self.stats = EntanglingStats()
+        self._recent: Deque[Tuple[int, int]] = deque(maxlen=history)
+        self._now = 0
+
+    # -- engine interface -------------------------------------------------------
+
+    def observe_fetch(self, block: int, cycle: int) -> None:
+        """Record a fetch for future source selection."""
+        self._now = cycle
+        if self._recent and self._recent[-1][1] == block:
+            return  # collapse same-block runs; sources are block visits
+        self._recent.append((cycle, block))
+
+    def on_demand_miss(self, block: int, cycle: int) -> None:
+        """Entangle ``block`` with a timely source from recent history."""
+        source = None
+        for when, candidate in self._recent:
+            if cycle - when >= self.latency_estimate:
+                source = candidate  # earliest fetch far enough back wins
+            else:
+                break
+        if source is None or source == block:
+            return
+        dests = self.table.get(source)
+        if dests is None:
+            if self.table.is_full():
+                self.stats.table_evictions += 1
+            self.table.insert(source, [block])
+            self.stats.entangled += 1
+        elif block not in dests:
+            if len(dests) >= self.dests_per_entry:
+                dests.pop(0)
+            dests.append(block)
+            self.stats.entangled += 1
+
+    def candidates(self, i: int) -> List[int]:
+        """Destinations entangled to the block fetched at record ``i``."""
+        block = int(self.trace.blocks[i])
+        dests = self.table.get(block)
+        if not dests:
+            return []
+        self.table.touch(block)
+        self.stats.issued += len(dests)
+        return list(dests)
+
+    def on_retire(self, i: int) -> None:
+        pass  # no branch stack to train

@@ -1,0 +1,112 @@
+"""The branch-prediction stack: BTB + TAGE + RAS, driven by the trace.
+
+The stack answers one question per trace transition: *would the front
+end have followed the path into record j?* — and trains itself as
+records retire.  Both the timing engine (misprediction penalties) and
+the fetch-directed prefetcher (run-ahead gating) consume the verdicts;
+each transition is evaluated exactly once, with the predictor state
+current at first query, and memoised until retirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.frontend.branch_predictors import TagePredictor
+from repro.frontend.btb import BranchTargetBuffer
+from repro.workloads.trace import BranchKind, Trace
+
+
+@dataclass
+class BranchStackStats:
+    conditional_branches: int = 0
+    conditional_correct: int = 0
+    btb_transfers: int = 0
+    btb_correct: int = 0
+    mispredicted_transitions: int = 0
+
+    @property
+    def conditional_accuracy(self) -> float:
+        if not self.conditional_branches:
+            return 1.0
+        return self.conditional_correct / self.conditional_branches
+
+
+class BranchStack:
+    """Trace-driven BTB + TAGE with per-transition verdict memoisation."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        btb: BranchTargetBuffer | None = None,
+        predictor: TagePredictor | None = None,
+    ) -> None:
+        self.trace = trace
+        self.btb = btb or BranchTargetBuffer()
+        self.predictor = predictor or TagePredictor()
+        self.stats = BranchStackStats()
+        self._verdicts: Dict[int, bool] = {}
+
+    # -- verdicts -------------------------------------------------------------
+
+    def _evaluate(self, j: int) -> bool:
+        kind = int(self.trace.branch_kind[j])
+        if kind == BranchKind.SEQUENTIAL:
+            return True
+        if kind == BranchKind.RETURN:
+            return True  # return-address stack: effectively perfect
+        site = int(self.trace.branch_site[j])
+        target = int(self.trace.blocks[j])
+        if kind == BranchKind.COND_NOT_TAKEN:
+            return not self.predictor.predict(site)
+        if kind == BranchKind.COND_TAKEN:
+            return bool(
+                self.predictor.predict(site) and self.btb.predict(site) == target
+            )
+        # CALL or INDIRECT: the BTB must produce the right target.
+        return self.btb.predict(site) == target
+
+    def predictable(self, j: int) -> bool:
+        """Memoised verdict for the transition into record ``j``."""
+        verdict = self._verdicts.get(j)
+        if verdict is None:
+            verdict = self._evaluate(j)
+            self._verdicts[j] = verdict
+        return verdict
+
+    # -- training -------------------------------------------------------------
+
+    def retire(self, i: int) -> bool:
+        """Train with the resolved transition into record ``i``.
+
+        Returns True when the transition had been *mispredicted* (the
+        engine charges the flush penalty for those).
+        """
+        kind = int(self.trace.branch_kind[i])
+        if kind == BranchKind.SEQUENTIAL:
+            return False
+        mispredicted = not self.predictable(i)
+        if mispredicted:
+            self.stats.mispredicted_transitions += 1
+        site = int(self.trace.branch_site[i])
+        target = int(self.trace.blocks[i])
+        if kind == BranchKind.COND_TAKEN:
+            self.stats.conditional_branches += 1
+            if self.predictor.predict(site):
+                self.stats.conditional_correct += 1
+            self.predictor.update(site, True)
+            self.btb.update(site, target)
+        elif kind == BranchKind.COND_NOT_TAKEN:
+            self.stats.conditional_branches += 1
+            if not self.predictor.predict(site):
+                self.stats.conditional_correct += 1
+            self.predictor.update(site, False)
+        elif kind in (BranchKind.CALL, BranchKind.INDIRECT):
+            self.stats.btb_transfers += 1
+            if self.btb.predict(site) == target:
+                self.stats.btb_correct += 1
+            self.btb.update(site, target)
+        # RETURN needs no training.
+        self._verdicts.pop(i, None)
+        return mispredicted

@@ -1,0 +1,31 @@
+"""Experiment harness: scheme registry, runner, result tables."""
+
+from repro.harness.experiment import (
+    ExperimentResult,
+    build_prefetcher,
+    run_experiment,
+    scaled_records,
+)
+from repro.harness.runner import Runner
+from repro.harness.schemes import (
+    SchemeContext,
+    available_schemes,
+    make_scheme,
+    scheme_needs_oracle,
+)
+from repro.harness.tables import format_table, reduction_table, speedup_table
+
+__all__ = [
+    "ExperimentResult",
+    "build_prefetcher",
+    "run_experiment",
+    "scaled_records",
+    "Runner",
+    "SchemeContext",
+    "available_schemes",
+    "make_scheme",
+    "scheme_needs_oracle",
+    "format_table",
+    "reduction_table",
+    "speedup_table",
+]

@@ -1,0 +1,100 @@
+"""Single-experiment entry point: one (workload, scheme, prefetcher) run.
+
+``run_experiment`` is the public API quickstart users call; the sweep
+machinery in :mod:`repro.harness.runner` builds on it with caching.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.frontend.entangling import EntanglingPrefetcher
+from repro.frontend.fdp import FetchDirectedPrefetcher, NullPrefetcher
+from repro.frontend.stack import BranchStack
+from repro.harness.schemes import SchemeContext, make_scheme
+from repro.uarch.params import DEFAULT_MACHINE, MachineParams
+from repro.uarch.timing import RunResult, simulate
+from repro.workloads.profiles import get_workload
+from repro.workloads.trace import Trace
+
+PREFETCHERS = ("fdp", "entangling", "none")
+
+
+def scaled_records(records: Optional[int] = None) -> int:
+    """Resolve the trace length: explicit > REPRO_SCALE * default."""
+    from repro.workloads.profiles import DEFAULT_RECORDS
+
+    if records is not None:
+        return records
+    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    if scale <= 0:
+        raise ValueError(f"REPRO_SCALE must be positive, got {scale}")
+    return max(1000, int(DEFAULT_RECORDS * scale))
+
+
+def build_prefetcher(name: str, trace: Trace, stack: BranchStack, machine: MachineParams):
+    if name == "fdp":
+        return FetchDirectedPrefetcher(trace, stack, depth=machine.ftq_depth_records)
+    if name == "entangling":
+        return EntanglingPrefetcher(trace)
+    if name == "none":
+        return NullPrefetcher(trace)
+    raise KeyError(f"unknown prefetcher {name!r}; known: {PREFETCHERS}")
+
+
+@dataclass
+class ExperimentResult:
+    """A run plus the context needed to interpret it."""
+
+    run: RunResult
+    workload: str
+    scheme: str
+    prefetcher: str
+    records: int
+
+    @property
+    def mpki(self) -> float:
+        return self.run.mpki
+
+    @property
+    def ipc(self) -> float:
+        return self.run.ipc
+
+    @property
+    def cycles(self) -> float:
+        return self.run.cycles
+
+
+def run_experiment(
+    workload: str,
+    scheme: str = "acic",
+    prefetcher: str = "fdp",
+    records: Optional[int] = None,
+    machine: Optional[MachineParams] = None,
+    context: Optional[SchemeContext] = None,
+) -> ExperimentResult:
+    """Simulate ``scheme`` on ``workload`` and return the measurements.
+
+    ``context`` lets callers share a trace/oracle across several runs
+    (the sweep runner does); otherwise one is built from the profile.
+    """
+    machine = machine or DEFAULT_MACHINE
+    records = scaled_records(records)
+    if context is None:
+        trace = get_workload(workload).trace(records=records)
+        context = SchemeContext(trace=trace, machine=machine)
+    trace = context.trace
+    stack = BranchStack(trace)
+    scheme_obj = make_scheme(scheme, context)
+    prefetcher_obj = build_prefetcher(prefetcher, trace, stack, machine)
+    run = simulate(trace, scheme_obj, prefetcher_obj, stack, machine)
+    run.workload = workload
+    return ExperimentResult(
+        run=run,
+        workload=workload,
+        scheme=scheme,
+        prefetcher=prefetcher,
+        records=records,
+    )

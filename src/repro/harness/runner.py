@@ -1,0 +1,179 @@
+"""Sweep runner with two-level result caching.
+
+Figure 10 alone needs ~120 (workload, scheme) runs; most benches share
+the LRU/OPT baselines.  The runner caches:
+
+* **in process** — the full RunResult (including the live scheme object
+  for figure-specific statistics);
+* **on disk** — the scalar measurements as JSON under
+  ``.cache/results``, keyed by (workload, scheme, prefetcher, records,
+  machine fingerprint), so separate pytest invocations don't resimulate.
+
+Set ``REPRO_NO_DISK_CACHE=1`` to disable the disk layer (tests do).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.harness.experiment import run_experiment, scaled_records
+from repro.harness.schemes import SchemeContext
+from repro.uarch.params import DEFAULT_MACHINE, MachineParams
+from repro.uarch.timing import RunResult
+from repro.workloads.profiles import get_workload
+
+
+def _results_dir() -> Path:
+    env = os.environ.get("REPRO_RESULT_CACHE")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".cache" / "results"
+
+
+def _machine_fingerprint(machine: MachineParams) -> str:
+    blob = json.dumps(asdict(machine), sort_keys=True, default=str)
+    return hashlib.sha1(blob.encode()).hexdigest()[:10]
+
+
+_SCALAR_FIELDS = (
+    "workload",
+    "scheme_name",
+    "prefetcher_name",
+    "instructions",
+    "accesses",
+    "cycles",
+    "demand_misses",
+    "late_prefetch_misses",
+    "prefetches_issued",
+    "mispredicted_transitions",
+)
+
+
+class Runner:
+    """Caching sweep driver shared by benches and examples."""
+
+    def __init__(
+        self,
+        records: Optional[int] = None,
+        prefetcher: str = "fdp",
+        machine: Optional[MachineParams] = None,
+        use_disk_cache: Optional[bool] = None,
+    ) -> None:
+        self.records = scaled_records(records)
+        self.prefetcher = prefetcher
+        self.machine = machine or DEFAULT_MACHINE
+        if use_disk_cache is None:
+            use_disk_cache = os.environ.get("REPRO_NO_DISK_CACHE", "") != "1"
+        self.use_disk_cache = use_disk_cache
+        self._memory: Dict[Tuple[str, str], RunResult] = {}
+        self._contexts: Dict[str, SchemeContext] = {}
+
+    # -- caching ------------------------------------------------------------
+
+    def _key(self, workload: str, scheme: str) -> Tuple[str, str]:
+        return (workload, scheme)
+
+    def _disk_path(self, workload: str, scheme: str) -> Path:
+        fingerprint = _machine_fingerprint(self.machine)
+        name = f"{workload}.{scheme}.{self.prefetcher}.r{self.records}.{fingerprint}.json"
+        return _results_dir() / name
+
+    def _load_disk(self, workload: str, scheme: str) -> Optional[RunResult]:
+        path = self._disk_path(workload, scheme)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            return RunResult(
+                **{k: payload[k] for k in _SCALAR_FIELDS}
+            )
+        except (json.JSONDecodeError, KeyError, TypeError):
+            path.unlink(missing_ok=True)
+            return None
+
+    def _store_disk(self, workload: str, scheme: str, run: RunResult) -> None:
+        path = self._disk_path(workload, scheme)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {k: getattr(run, k) for k in _SCALAR_FIELDS}
+        path.write_text(json.dumps(payload))
+
+    def context_for(self, workload: str) -> SchemeContext:
+        """Shared trace/oracle context per workload."""
+        ctx = self._contexts.get(workload)
+        if ctx is None:
+            trace = get_workload(workload).trace(records=self.records)
+            ctx = SchemeContext(trace=trace, machine=self.machine)
+            self._contexts[workload] = ctx
+        return ctx
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, workload: str, scheme: str) -> RunResult:
+        """Run (or fetch from cache) one workload/scheme pair."""
+        key = self._key(workload, scheme)
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached
+        if self.use_disk_cache:
+            loaded = self._load_disk(workload, scheme)
+            if loaded is not None:
+                self._memory[key] = loaded
+                return loaded
+        result = run_experiment(
+            workload,
+            scheme,
+            prefetcher=self.prefetcher,
+            records=self.records,
+            machine=self.machine,
+            context=self.context_for(workload),
+        ).run
+        self._memory[key] = result
+        if self.use_disk_cache:
+            self._store_disk(workload, scheme, result)
+        return result
+
+    def run_live(self, workload: str, scheme: str) -> RunResult:
+        """Run bypassing the disk cache (when scheme internals are needed)."""
+        key = self._key(workload, scheme)
+        cached = self._memory.get(key)
+        if cached is not None and cached.scheme is not None:
+            return cached
+        result = run_experiment(
+            workload,
+            scheme,
+            prefetcher=self.prefetcher,
+            records=self.records,
+            machine=self.machine,
+            context=self.context_for(workload),
+        ).run
+        self._memory[key] = result
+        if self.use_disk_cache:
+            self._store_disk(workload, scheme, result)
+        return result
+
+    # -- derived metrics ------------------------------------------------------
+
+    def speedup(self, workload: str, scheme: str, baseline: str = "lru") -> float:
+        return self.run(workload, scheme).speedup_over(self.run(workload, baseline))
+
+    def mpki_reduction(
+        self, workload: str, scheme: str, baseline: str = "lru"
+    ) -> float:
+        return self.run(workload, scheme).mpki_reduction_over(
+            self.run(workload, baseline)
+        )
+
+    def sweep(
+        self, workloads: Iterable[str], schemes: Iterable[str]
+    ) -> Dict[Tuple[str, str], RunResult]:
+        """Run the full cross product; returns {(workload, scheme): result}."""
+        out = {}
+        for workload in workloads:
+            for scheme in schemes:
+                out[(workload, scheme)] = self.run(workload, scheme)
+        return out

@@ -1,0 +1,21 @@
+"""Memory-hierarchy substrate: caches, replacement policies, latency model.
+
+``SetAssociativeCache`` is the generic building block; the L1 i-cache of
+every scheme, the unified L2/L3 presence model and the victim caches are
+all instances of (or built from) it.  Replacement behaviour is supplied
+by the pluggable policies in :mod:`repro.mem.policies`.
+"""
+
+from repro.mem.cache import CacheConfig, SetAssociativeCache
+from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.mem.mshr import MSHRFile
+from repro.mem.victim import VictimCache
+
+__all__ = [
+    "CacheConfig",
+    "SetAssociativeCache",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "MSHRFile",
+    "VictimCache",
+]

@@ -1,0 +1,88 @@
+"""L2/L3/DRAM latency and presence model behind the L1 i-cache.
+
+Table II machine: 512 KB 8-way L2 (15 cycles), 2 MB 16-way L3
+(35 cycles), single-channel DDR4-3200 DRAM.  We model the instruction
+footprint's presence in L2/L3 with plain LRU caches (the data stream is
+not simulated; datacenter i-footprints dominate these levels' behaviour
+for the front-end, and the model only needs to produce realistic miss
+latencies for the L1i).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.cache import CacheConfig, SetAssociativeCache
+from repro.mem.policies.lru import LRUPolicy
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Latencies (cycles) and geometries of the levels behind L1i."""
+
+    l2_size_bytes: int = 512 * 1024
+    l2_ways: int = 8
+    l2_latency: int = 15
+    l3_size_bytes: int = 2 * 1024 * 1024
+    l3_ways: int = 16
+    l3_latency: int = 35
+    dram_latency: int = 200
+
+    def __post_init__(self) -> None:
+        if not self.l2_latency < self.l3_latency < self.dram_latency:
+            raise ValueError(
+                "latencies must increase down the hierarchy: "
+                f"L2={self.l2_latency} L3={self.l3_latency} "
+                f"DRAM={self.dram_latency}"
+            )
+
+
+@dataclass
+class HierarchyStats:
+    l2_hits: int = 0
+    l3_hits: int = 0
+    dram_fills: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.l2_hits + self.l3_hits + self.dram_fills
+
+
+class MemoryHierarchy:
+    """Serves L1i misses; returns the fill latency in cycles."""
+
+    def __init__(self, config: HierarchyConfig | None = None) -> None:
+        self.config = config or HierarchyConfig()
+        cfg = self.config
+        self.l2 = SetAssociativeCache(
+            CacheConfig(cfg.l2_size_bytes, cfg.l2_ways, name="L2"), LRUPolicy()
+        )
+        self.l3 = SetAssociativeCache(
+            CacheConfig(cfg.l3_size_bytes, cfg.l3_ways, name="L3"), LRUPolicy()
+        )
+        self.stats = HierarchyStats()
+
+    def access(self, block: int, t: int = 0) -> int:
+        """Fetch ``block`` from the deepest level holding it.
+
+        Fills the levels above the hit level (NINE, i.e. non-inclusive
+        non-exclusive: evictions do not back-invalidate) and returns the
+        access latency in cycles.
+        """
+        cfg = self.config
+        if self.l2.lookup(block, t):
+            self.stats.l2_hits += 1
+            return cfg.l2_latency
+        if self.l3.lookup(block, t):
+            self.stats.l3_hits += 1
+            self.l2.fill(block, t)
+            return cfg.l3_latency
+        self.stats.dram_fills += 1
+        self.l3.fill(block, t)
+        self.l2.fill(block, t)
+        return cfg.dram_latency
+
+    def reset(self) -> None:
+        self.l2.reset()
+        self.l3.reset()
+        self.stats = HierarchyStats()

@@ -1,0 +1,78 @@
+"""Miss Status Holding Registers.
+
+The paper's CSHR (Section III-B) is explicitly "inspired by the design
+of MSHR that tracks outstanding misses"; we model the MSHR file both to
+honour that lineage and because the timing engine uses it to merge
+demand fetches into in-flight prefetches (a demand hit on an MSHR pays
+only the *remaining* latency, a key FDP timeliness effect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class MSHRStats:
+    allocations: int = 0
+    merges: int = 0
+    full_stalls: int = 0
+
+
+class MSHRFile:
+    """Tracks outstanding misses as block -> completion cycle."""
+
+    def __init__(self, entries: int = 16) -> None:
+        if entries <= 0:
+            raise ValueError(f"MSHR entries must be positive, got {entries}")
+        self.entries = entries
+        self._pending: Dict[int, int] = {}
+        self.stats = MSHRStats()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._pending
+
+    def drain(self, now: int) -> list[int]:
+        """Retire every miss whose fill has completed by ``now``."""
+        done = [b for b, ready in self._pending.items() if ready <= now]
+        for block in done:
+            del self._pending[block]
+        return done
+
+    def ready_cycle(self, block: int) -> Optional[int]:
+        return self._pending.get(block)
+
+    def allocate(self, block: int, ready_cycle: int, now: int) -> int:
+        """Register an outstanding miss; returns its completion cycle.
+
+        Merges into an existing entry for the same block.  When the file
+        is full, the request must wait for the earliest completion slot
+        (modelled by delaying the fill until a register frees up).
+        """
+        existing = self._pending.get(block)
+        if existing is not None:
+            self.stats.merges += 1
+            return existing
+        self.drain(now)
+        if len(self._pending) >= self.entries:
+            self.stats.full_stalls += 1
+            # The miss cannot issue until a register frees: delay the
+            # whole latency by the wait for the earliest completion.
+            earliest_block = min(self._pending, key=self._pending.__getitem__)
+            earliest = self._pending.pop(earliest_block)
+            ready_cycle += max(0, earliest - now)
+        self._pending[block] = ready_cycle
+        self.stats.allocations += 1
+        return ready_cycle
+
+    def cancel(self, block: int) -> None:
+        """Drop the outstanding entry for ``block`` (demand takeover)."""
+        self._pending.pop(block, None)
+
+    def reset(self) -> None:
+        self._pending.clear()
+        self.stats = MSHRStats()

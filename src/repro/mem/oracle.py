@@ -1,0 +1,68 @@
+"""Future-knowledge oracle over a block-access trace.
+
+Belady's OPT, the OPT-bypass scheme, and several analyses (Figure 3b,
+Figure 12a) need to know *when a block is next accessed*.  The oracle
+precomputes that once per trace:
+
+* ``next_use_at(t)``     — O(1): next index after ``t`` at which
+  ``blocks[t]`` is accessed again (``NEVER`` if it is not).
+* ``next_use_of(block, t)`` — O(log k): next access to an arbitrary
+  block after ``t`` (needed when the query time differs from an access
+  to that block, e.g. prefetch fills).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Sequence
+
+import numpy as np
+
+#: Sentinel meaning "never accessed again"; larger than any trace index.
+NEVER = 1 << 62
+
+
+class NextUseOracle:
+    """Precomputed next-use information for one trace."""
+
+    def __init__(self, blocks: Sequence[int]) -> None:
+        blocks_arr = np.asarray(blocks, dtype=np.int64)
+        n = len(blocks_arr)
+        self.length = n
+        next_use = np.full(n, NEVER, dtype=np.int64)
+        last_seen: Dict[int, int] = {}
+        # Backward pass: next_use[t] = the index of the following access.
+        for t in range(n - 1, -1, -1):
+            block = int(blocks_arr[t])
+            seen = last_seen.get(block)
+            if seen is not None:
+                next_use[t] = seen
+            last_seen[block] = t
+        self._next_use = next_use
+        # Per-block sorted position lists for arbitrary-time queries.
+        positions: Dict[int, list] = {}
+        for t, block in enumerate(blocks_arr.tolist()):
+            positions.setdefault(block, []).append(t)
+        self._positions = positions
+
+    def next_use_at(self, t: int) -> int:
+        """Next access index of the block accessed at ``t`` (after ``t``)."""
+        return int(self._next_use[t])
+
+    def next_use_of(self, block: int, t: int) -> int:
+        """Next access index of ``block`` strictly after time ``t``."""
+        pos = self._positions.get(block)
+        if not pos:
+            return NEVER
+        i = bisect_right(pos, t)
+        return pos[i] if i < len(pos) else NEVER
+
+    def reuse_distance_after(self, t: int) -> int:
+        """Trace-index gap to the next use (NEVER when none).
+
+        This is a *time* distance, not a stack distance; Figure 3b and
+        Figure 12a bucket this quantity, which tracks stack distance
+        closely for our fetch-group traces.
+        """
+        nxt = self.next_use_at(t)
+        return NEVER if nxt >= NEVER else nxt - t

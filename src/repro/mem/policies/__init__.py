@@ -1,0 +1,36 @@
+"""Replacement policies for the set-associative cache model.
+
+Everything the paper compares against lives here:
+
+* :class:`LRUPolicy` — the baseline.
+* :class:`TreePLRUPolicy` — hardware pseudo-LRU (extra ablation).
+* :class:`RandomPolicy` — sanity baseline.
+* :class:`SRRIPPolicy` — re-reference interval prediction.
+* :class:`SHiPPolicy` — signature-based hit prediction over SRRIP.
+* :class:`HawkeyePolicy` — OPT-learning (Harmony flavour for prefetch).
+* :class:`GHRPPolicy` — global-history dead-block prediction (the
+  state-of-the-art i-cache policy ACIC is measured against).
+* :class:`BeladyOPTPolicy` — the oracle upper bound.
+"""
+
+from repro.mem.policies.base import ReplacementPolicy
+from repro.mem.policies.belady import BeladyOPTPolicy
+from repro.mem.policies.ghrp import GHRPPolicy
+from repro.mem.policies.hawkeye import HawkeyePolicy
+from repro.mem.policies.lru import LRUPolicy
+from repro.mem.policies.plru import TreePLRUPolicy
+from repro.mem.policies.random_policy import RandomPolicy
+from repro.mem.policies.ship import SHiPPolicy
+from repro.mem.policies.srrip import SRRIPPolicy
+
+__all__ = [
+    "ReplacementPolicy",
+    "BeladyOPTPolicy",
+    "GHRPPolicy",
+    "HawkeyePolicy",
+    "LRUPolicy",
+    "TreePLRUPolicy",
+    "RandomPolicy",
+    "SHiPPolicy",
+    "SRRIPPolicy",
+]

@@ -1,0 +1,32 @@
+"""Least-recently-used replacement (the paper's baseline i-cache policy).
+
+The cache itself maintains recency order, so LRU needs no metadata of
+its own: the victim is simply the head of the recency list.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.mem.policies.base import ReplacementPolicy
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True LRU within each set."""
+
+    name = "lru"
+
+    def on_hit(self, set_index: int, block: int, t: int) -> None:
+        pass  # recency promoted by the cache
+
+    def victim(
+        self,
+        set_index: int,
+        resident: Sequence[int],
+        incoming: int,
+        t: int,
+    ) -> Optional[int]:
+        return resident[0]
+
+    def on_fill(self, set_index: int, block: int, t: int, prefetch: bool) -> None:
+        pass

@@ -1,0 +1,36 @@
+"""Uniform-random replacement, used as a sanity baseline in tests."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.mem.policies.base import ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random resident line.  Seeded for determinism."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def on_hit(self, set_index: int, block: int, t: int) -> None:
+        pass
+
+    def victim(
+        self,
+        set_index: int,
+        resident: Sequence[int],
+        incoming: int,
+        t: int,
+    ) -> Optional[int]:
+        return resident[self._rng.randrange(len(resident))]
+
+    def on_fill(self, set_index: int, block: int, t: int, prefetch: bool) -> None:
+        pass
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)

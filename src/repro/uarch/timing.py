@@ -1,0 +1,209 @@
+"""The front-end timing engine.
+
+A fluid-model decoupled front-end (DESIGN.md section 2): fetch delivers
+one record per cycle into the decode queue; the backend drains
+``backend_ipc`` instructions per cycle; i-cache misses stall fetch for
+the hierarchy latency minus what the queue backlog hides; mispredicted
+branches flush; prefetchers (FDP run-ahead or entangling) inject fills
+through the MSHR file.
+
+The engine is scheme-agnostic: anything implementing the L1I scheme
+protocol (``lookup`` / ``fill`` / ``prefetch_fill`` / ``contains``) can
+be measured.  Statistics honour the paper's methodology: the first
+``warmup_fraction`` of the trace warms all structures and is excluded
+from reported numbers (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from repro.frontend.stack import BranchStack
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.mshr import MSHRFile
+from repro.uarch.params import MachineParams
+from repro.workloads.trace import Trace
+
+
+class L1IScheme(Protocol):
+    """The instruction-supply scheme under test."""
+
+    name: str
+
+    def lookup(self, block: int, t: int, cycle: int) -> bool: ...
+
+    def fill(self, block: int, t: int, cycle: int) -> None: ...
+
+    def prefetch_fill(self, block: int, t: int, cycle: int) -> None: ...
+
+    def contains(self, block: int) -> bool: ...
+
+
+class Prefetcher(Protocol):
+    """Prefetch engine driving fills through the MSHRs."""
+
+    name: str
+
+    def candidates(self, i: int) -> list: ...
+
+    def observe_fetch(self, block: int, cycle: int) -> None: ...
+
+    def on_demand_miss(self, block: int, cycle: int) -> None: ...
+
+
+@dataclass
+class RunResult:
+    """Post-warmup measurements of one (trace, scheme, prefetcher) run."""
+
+    workload: str
+    scheme_name: str
+    prefetcher_name: str
+    instructions: int = 0
+    accesses: int = 0
+    cycles: float = 0.0
+    demand_misses: int = 0
+    late_prefetch_misses: int = 0
+    prefetches_issued: int = 0
+    mispredicted_transitions: int = 0
+    scheme: Optional[object] = field(default=None, repr=False)
+
+    @property
+    def mpki(self) -> float:
+        """L1i demand misses per 1000 instructions."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.demand_misses / self.instructions
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.demand_misses / self.accesses if self.accesses else 0.0
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Execution-time speedup of *this* run relative to ``baseline``."""
+        if self.cycles == 0:
+            raise ValueError("run has no cycles; was the trace empty?")
+        return baseline.cycles / self.cycles
+
+    def mpki_reduction_over(self, baseline: "RunResult") -> float:
+        """MPKI reduction (%) relative to ``baseline`` (positive = fewer)."""
+        if baseline.mpki == 0:
+            return 0.0
+        return 100.0 * (baseline.mpki - self.mpki) / baseline.mpki
+
+
+def simulate(
+    trace: Trace,
+    scheme: L1IScheme,
+    prefetcher: Prefetcher,
+    stack: BranchStack,
+    machine: MachineParams,
+    hierarchy: Optional[MemoryHierarchy] = None,
+) -> RunResult:
+    """Run ``scheme`` over ``trace`` and return post-warmup measurements."""
+    hierarchy = hierarchy or MemoryHierarchy(machine.hierarchy)
+    mshr = MSHRFile(machine.mshr_entries)
+
+    blocks = trace.blocks
+    instr_counts = trace.instrs
+    n = len(trace)
+    warmup_end = int(n * machine.warmup_fraction)
+
+    backend_ipc = machine.backend_ipc
+    queue_cap = float(machine.decode_queue_instrs)
+    penalty = machine.branch_mispredict_penalty
+
+    cycles = 0.0
+    queue = 0.0
+    demand_misses = 0
+    late_prefetch = 0
+    prefetches_issued = 0
+    instructions = 0
+
+    # Snapshots taken when warmup ends.
+    base_cycles = 0.0
+    base_misses = 0
+    base_late = 0
+    base_issued = 0
+    base_instr = 0
+    base_mispred = 0
+
+    for i in range(n):
+        if i == warmup_end:
+            base_cycles = cycles
+            base_misses = demand_misses
+            base_late = late_prefetch
+            base_issued = prefetches_issued
+            base_instr = instructions
+            base_mispred = stack.stats.mispredicted_transitions
+
+        block = int(blocks[i])
+        n_instr = int(instr_counts[i])
+        instructions += n_instr
+
+        # Resolve and train the transition that led here; charge flushes.
+        if stack.retire(i):
+            cycles += penalty
+
+        # One front-end cycle per fetch record; the backend drains the
+        # queue meanwhile.  Overfull queues mean the backend is the
+        # bottleneck: charge the extra drain time.
+        cycles += 1.0
+        queue += n_instr - backend_ipc
+        if queue > queue_cap:
+            cycles += (queue - queue_cap) / backend_ipc
+            queue = queue_cap
+        elif queue < 0.0:
+            queue = 0.0
+
+        # Prefetch fills that have arrived land in the scheme.
+        if len(mshr):
+            for done in mshr.drain(cycles):
+                scheme.prefetch_fill(done, i, int(cycles))
+
+        hit = scheme.lookup(block, i, int(cycles))
+        if not hit:
+            demand_misses += 1
+            ready = mshr.ready_cycle(block)
+            if ready is not None:
+                # Late prefetch: pay only the remaining latency.
+                mshr.cancel(block)
+                latency = max(0.0, ready - cycles)
+                late_prefetch += 1
+            else:
+                latency = float(hierarchy.access(block, i))
+            prefetcher.on_demand_miss(block, int(cycles))
+            # The decode-queue backlog hides part of the stall.
+            stall = latency - queue / backend_ipc
+            if stall > 0.0:
+                cycles += stall
+            queue = max(0.0, queue - latency * backend_ipc)
+            scheme.fill(block, i, int(cycles))
+
+        prefetcher.observe_fetch(block, int(cycles))
+        for candidate in prefetcher.candidates(i):
+            if candidate in mshr or scheme.contains(candidate):
+                continue
+            latency = float(hierarchy.access(candidate, i))
+            mshr.allocate(candidate, cycles + latency, cycles)
+            prefetches_issued += 1
+
+    return RunResult(
+        workload=trace.name,
+        scheme_name=scheme.name,
+        prefetcher_name=prefetcher.name,
+        instructions=instructions - base_instr,
+        accesses=n - warmup_end,
+        cycles=cycles - base_cycles,
+        demand_misses=demand_misses - base_misses,
+        late_prefetch_misses=late_prefetch - base_late,
+        prefetches_issued=prefetches_issued - base_issued,
+        mispredicted_transitions=(
+            stack.stats.mispredicted_transitions - base_mispred
+        ),
+        scheme=scheme,
+    )

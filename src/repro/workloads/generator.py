@@ -1,0 +1,313 @@
+"""Trace generation: walking a synthetic program.
+
+The walker executes the static program of :mod:`repro.workloads.program`
+at *fetch-group* granularity: every visited 64-byte block (16
+instructions) emits three 6/6/4-instruction fetch records, plus extra
+same-block records for intra-block control flow and loop iterations.
+Control-flow decisions (request mix, branch outcomes, loop trip counts)
+come from a seeded RNG, so a (program, walk, seed) triple is a fully
+deterministic trace.
+
+Dynamic semantics:
+
+* request dispatch — a Markov chain over request groups (self-transition
+  bias models bursty request mixes).  A request enters the group's root
+  handler, then executes a random number of *phases*, each walking one
+  group member chosen with a Zipf-like bias (members early in the pool
+  are the hot "parse/validate/respond" code; the tail is cold error/
+  admin paths).  Dispatch transfers are *indirect* (BTB-hostile), as in
+  real server event loops.
+* calls/returns — static call sites; returns are RAS-predictable.
+* loops — geometric trip counts; nested loop/skip ops run only on the
+  first iteration (repeat iterations are straight-line), while nested
+  *calls* execute on every iteration (loops calling hot library code is
+  the main source of short temporal reuse).
+* conditional skips — per-site taken bias, drawn each visit.
+* intra-block re-fetch — with probability ``regroup_prob`` per block a
+  short intra-block taken branch restarts fetch within the block,
+  emitting extra same-block records (the distance-0 mass of Fig. 1a).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.common.bitops import fold_hash
+from repro.workloads.program import (
+    OP_BRSKIP,
+    OP_CALL,
+    OP_LOOP,
+    SyntheticProgram,
+    return_site,
+)
+from repro.workloads.trace import BranchKind, Trace
+
+#: Fetch-group instruction split for a fully-executed 16-instruction block.
+_FULL_BLOCK_GROUPS = (6, 6, 4)
+
+#: Site-id namespace for per-group phase-dispatch indirect branches;
+#: far above the ``fid << 12`` space used by function-local sites.
+_PHASE_SITE_BASE = 1 << 30
+
+#: Site-id namespace for early-exit conditionals, one per block.
+_EXIT_SITE_BASE = 1 << 34
+
+
+def _exit_site(block: int) -> int:
+    """Static site id of a block's early-exit conditional branch."""
+    return _EXIT_SITE_BASE | block
+
+
+@dataclass(frozen=True)
+class WalkParams:
+    """Dynamic-behaviour knobs for the walker."""
+
+    target_records: int = 200_000
+    request_self_transition: float = 0.5
+    phases: Tuple[int, int] = (3, 6)
+    member_zipf: float = 2.0
+    cold_phase_prob: float = 0.0
+    regroup_prob: float = 0.35
+    regroup_mean: float = 2.0
+    full_block_prob: float = 0.45
+    two_group_prob: float = 0.25
+    exec_noise: float = 0.08
+    max_call_depth: int = 24
+    max_loop_iters: int = 64
+
+    def __post_init__(self) -> None:
+        if self.target_records <= 0:
+            raise ValueError("target_records must be positive")
+        if not 0.0 <= self.request_self_transition < 1.0:
+            raise ValueError("request_self_transition must be in [0, 1)")
+        if self.phases[0] < 0 or self.phases[1] < self.phases[0]:
+            raise ValueError(f"bad phases range {self.phases}")
+        if self.member_zipf < 1.0:
+            raise ValueError("member_zipf must be >= 1.0")
+        if not 0.0 <= self.regroup_prob <= 1.0:
+            raise ValueError("regroup_prob must be a probability")
+        if not 0.0 <= self.cold_phase_prob <= 1.0:
+            raise ValueError("cold_phase_prob must be a probability")
+        if self.full_block_prob + self.two_group_prob > 1.0:
+            raise ValueError("block execution-length probabilities exceed 1")
+        if not 0.0 <= self.exec_noise <= 1.0:
+            raise ValueError("exec_noise must be a probability")
+
+
+class _Walker:
+    """Single-use walk state; collects fetch records into lists."""
+
+    def __init__(
+        self, program: SyntheticProgram, params: WalkParams, seed: int
+    ) -> None:
+        self.program = program
+        self.params = params
+        self.rng = random.Random(seed)
+        self.blocks: List[int] = []
+        self.instrs: List[int] = []
+        self.kinds: List[int] = []
+        self.sites: List[int] = []
+        # Transition state for the *next* emitted record.
+        self._pending_kind = BranchKind.SEQUENTIAL
+        self._pending_site = -1
+        # Cold-path cursor: cold functions are consumed round-robin with
+        # a random stride, so each one recurs only after the whole pool
+        # cycles (very long reuse distances).
+        self._cold_cursor = 0
+
+    # -- emission -------------------------------------------------------------
+
+    def _emit(self, block: int, n_instrs: int) -> None:
+        self.blocks.append(block)
+        self.instrs.append(n_instrs)
+        self.kinds.append(self._pending_kind)
+        self.sites.append(self._pending_site)
+        self._pending_kind = BranchKind.SEQUENTIAL
+        self._pending_site = -1
+
+    def _branch_to(self, kind: int, site: int) -> None:
+        """Arm the control-transfer metadata for the next record."""
+        self._pending_kind = kind
+        self._pending_site = site
+
+    def _emit_block(self, block: int) -> bool:
+        """Emit the fetch records of one block visit.
+
+        Server-style code rarely executes a whole 16-instruction block:
+        it frequently exits early through a taken branch.  The execution
+        length is a *static property of the block* (a hash of its id
+        selects full / two groups / one group with the configured
+        frequencies) plus a small per-visit flip, so early exits are
+        strongly biased branches the TAGE stack can learn — as in real
+        code — rather than noise.  An early exit transfers to the next
+        block as a taken conditional at a block-derived static site.
+        Returns True when the visit ran the full block (so the caller
+        may execute the block's static op).
+        """
+        params = self.params
+        h = fold_hash(block ^ 0x5DEECE66D, 20) / float(1 << 20)
+        if h < params.full_block_prob:
+            groups = 3
+        elif h < params.full_block_prob + params.two_group_prob:
+            groups = 2
+        else:
+            groups = 1
+        if self.rng.random() < params.exec_noise:
+            groups = 1 + self.rng.randrange(3)  # rare data-dependent flip
+        for g in range(groups):
+            self._emit(block, _FULL_BLOCK_GROUPS[g])
+        # Intra-block control flow: short taken branches and tight loops
+        # restart fetch within the same block before control leaves it —
+        # the dominant effect behind Fig. 1a's ~85% distance-0 mass.
+        if self.rng.random() < params.regroup_prob:
+            extra = self._draw_iters(params.regroup_mean)
+            for _ in range(extra):
+                self._emit(block, 6)
+        if groups < 3:
+            # Early exit: a strongly-biased taken conditional whose
+            # target is the sequentially-next block.  For the front-end
+            # datapath that is indistinguishable from fall-through (the
+            # fetch target is the next block either way), so it is
+            # emitted as sequential flow rather than as a BTB event —
+            # matching how next-line prefetch sails through such code.
+            return False
+        return True
+
+    # -- dynamics -------------------------------------------------------------
+
+    def _draw_iters(self, mean: float) -> int:
+        """Geometric draw with the given mean, >= 1, capped."""
+        if mean <= 1.0:
+            return 1
+        p = 1.0 / mean
+        count = 1
+        cap = self.params.max_loop_iters
+        while count < cap and self.rng.random() > p:
+            count += 1
+        return count
+
+    def _walk_function(self, fid: int, depth: int) -> None:
+        f = self.program.functions[fid]
+        ops = f.ops
+        base = f.base_block
+        pos = 0
+        n = f.n_blocks
+        while pos < n:
+            block = base + pos
+            full_visit = self._emit_block(block)
+            op = ops.get(pos) if full_visit else None
+            if op is None:
+                pos += 1
+                continue
+            if op.kind == OP_CALL:
+                if depth < self.params.max_call_depth:
+                    self._branch_to(BranchKind.CALL, op.site)
+                    self._walk_function(op.callee, depth + 1)
+                    self._branch_to(BranchKind.RETURN, return_site(op.callee))
+                pos += 1
+            elif op.kind == OP_LOOP:
+                self._run_loop(f, pos, op, depth)
+                pos += 1
+            else:  # OP_BRSKIP
+                if self.rng.random() < op.param:
+                    self._branch_to(BranchKind.COND_TAKEN, op.site)
+                    pos += op.span + 1
+                else:
+                    self._branch_to(BranchKind.COND_NOT_TAKEN, op.site)
+                    pos += 1
+
+    def _run_loop(self, f, pos: int, op, depth: int) -> None:
+        """Execute the extra iterations of a loop ending at ``pos``.
+
+        The first iteration already ran as part of sequential flow.
+        Repeat iterations re-emit the body blocks; nested loop/skip ops
+        are treated as straight-line, nested calls execute normally.
+        """
+        iters = self._draw_iters(op.param)
+        base = f.base_block
+        ops = f.ops
+        for _ in range(iters - 1):
+            self._branch_to(BranchKind.COND_TAKEN, op.site)
+            if op.span == 0:
+                # Tight intra-block loop: one fetch group per iteration.
+                self._emit(base + pos, 6)
+                continue
+            for body_pos in range(pos - op.span, pos + 1):
+                full_visit = self._emit_block(base + body_pos)
+                body_op = ops.get(body_pos) if full_visit else None
+                if (
+                    body_op is not None
+                    and body_op.kind == OP_CALL
+                    and body_pos != pos
+                    and depth < self.params.max_call_depth
+                ):
+                    self._branch_to(BranchKind.CALL, body_op.site)
+                    self._walk_function(body_op.callee, depth + 1)
+                    self._branch_to(
+                        BranchKind.RETURN, return_site(body_op.callee)
+                    )
+        # Loop exit: the backedge falls through.
+        self._branch_to(BranchKind.COND_NOT_TAKEN, op.site)
+
+    def _pick_member(self, members: List[int]) -> int:
+        """Zipf-like biased choice: early pool members are hot paths."""
+        u = self.rng.random() ** self.params.member_zipf
+        return members[int(u * len(members))]
+
+    # -- top level --------------------------------------------------------------
+
+    def run(self) -> None:
+        program = self.program
+        params = self.params
+        rng = self.rng
+        n_groups = len(program.groups)
+        current_group = rng.randrange(n_groups)
+        lo_phases, hi_phases = params.phases
+        while len(self.blocks) < params.target_records:
+            if n_groups > 1 and rng.random() >= params.request_self_transition:
+                # Leave the current type; pick uniformly among the others.
+                offset = rng.randrange(n_groups - 1)
+                current_group = (current_group + 1 + offset) % n_groups
+            group = program.groups[current_group]
+            # Request entry: the group root via the global dispatch site.
+            root = group.roots[rng.randrange(len(group.roots))]
+            self._branch_to(BranchKind.INDIRECT, program.dispatch_site)
+            self._walk_function(root, depth=0)
+            # Request body: a few phases through the group's handler pool,
+            # interleaved with cold paths (error/admin/logging code) that
+            # form the polluting junk stream.
+            phase_site = _PHASE_SITE_BASE + group.gid
+            cold_ids = program.cold_ids
+            for _ in range(rng.randint(lo_phases, hi_phases)):
+                self._branch_to(BranchKind.INDIRECT, phase_site)
+                if cold_ids and rng.random() < params.cold_phase_prob:
+                    self._cold_cursor = (
+                        self._cold_cursor + 1 + rng.randrange(3)
+                    ) % len(cold_ids)
+                    self._walk_function(cold_ids[self._cold_cursor], depth=0)
+                else:
+                    member = self._pick_member(group.members)
+                    self._walk_function(member, depth=0)
+
+
+def generate_trace(
+    program: SyntheticProgram,
+    params: WalkParams,
+    seed: int = 0,
+    name: str = "synthetic",
+) -> Trace:
+    """Walk ``program`` and return the resulting fetch-record trace."""
+    walker = _Walker(program, params, seed)
+    walker.run()
+    return Trace(
+        name=name,
+        blocks=np.asarray(walker.blocks, dtype=np.int64),
+        instrs=np.asarray(walker.instrs, dtype=np.uint8),
+        branch_kind=np.asarray(walker.kinds, dtype=np.uint8),
+        branch_site=np.asarray(walker.sites, dtype=np.int64),
+        seed=seed,
+    )

@@ -1,0 +1,168 @@
+"""Trace container: the interface between workloads and the simulator.
+
+A trace is a sequence of *fetch records*, one per front-end fetch group
+(up to ``fetch_width`` sequential instructions from one block).  Each
+record carries the control-flow metadata the branch-prediction stack
+needs:
+
+* ``blocks[i]``      — instruction-block id fetched.
+* ``instrs[i]``      — instructions consumed by this group (1..16).
+* ``branch_kind[i]`` — kind of the control transfer *leading to* record
+  ``i`` (see the ``BranchKind`` constants).
+* ``branch_site[i]`` — static id (int64) of the branch instruction that
+  caused a non-sequential transfer (-1 for sequential flow).
+
+Traces are deterministic functions of (profile, length, seed) and are
+cached on disk as ``.npz`` under ``.cache/traces`` so repeated bench
+runs do not regenerate them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+
+class BranchKind:
+    """Control-transfer kinds, stored per fetch record."""
+
+    SEQUENTIAL = 0       # fall-through / same-block continuation
+    COND_TAKEN = 1       # conditional branch, taken
+    COND_NOT_TAKEN = 2   # conditional branch, fell through to a new block
+    CALL = 3             # direct call
+    RETURN = 4           # return (RAS-predictable)
+    INDIRECT = 5         # indirect jump/call (dispatch)
+
+    ALL = (SEQUENTIAL, COND_TAKEN, COND_NOT_TAKEN, CALL, RETURN, INDIRECT)
+    CONDITIONAL = (COND_TAKEN, COND_NOT_TAKEN)
+
+
+@dataclass
+class Trace:
+    """Struct-of-arrays fetch-record trace."""
+
+    name: str
+    blocks: np.ndarray       # int64
+    instrs: np.ndarray       # uint8
+    branch_kind: np.ndarray  # uint8
+    branch_site: np.ndarray  # int32, -1 when sequential
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        n = len(self.blocks)
+        for field in ("instrs", "branch_kind", "branch_site"):
+            if len(getattr(self, field)) != n:
+                raise ValueError(
+                    f"trace '{self.name}': {field} length "
+                    f"{len(getattr(self, field))} != blocks length {n}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def total_instructions(self) -> int:
+        return int(self.instrs.sum())
+
+    @property
+    def unique_blocks(self) -> int:
+        return int(np.unique(self.blocks).size)
+
+    @property
+    def footprint_bytes(self) -> int:
+        from repro.common.bitops import BLOCK_BYTES
+
+        return self.unique_blocks * BLOCK_BYTES
+
+    def mpki_of(self, misses: int) -> float:
+        """Misses-per-kilo-instruction for this trace."""
+        instructions = self.total_instructions
+        if instructions == 0:
+            raise ValueError(f"trace '{self.name}' is empty")
+        return 1000.0 * misses / instructions
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A view-based sub-trace (warmup splitting, tests)."""
+        return Trace(
+            name=f"{self.name}[{start}:{stop}]",
+            blocks=self.blocks[start:stop],
+            instrs=self.instrs[start:stop],
+            branch_kind=self.branch_kind[start:stop],
+            branch_site=self.branch_site[start:stop],
+            seed=self.seed,
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            blocks=self.blocks,
+            instrs=self.instrs,
+            branch_kind=self.branch_kind,
+            branch_site=self.branch_site,
+            seed=np.int64(self.seed),
+            name=np.bytes_(self.name.encode()),
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "Trace":
+        with np.load(path) as data:
+            return cls(
+                name=bytes(data["name"]).decode(),
+                blocks=data["blocks"],
+                instrs=data["instrs"],
+                branch_kind=data["branch_kind"],
+                branch_site=data["branch_site"],
+                seed=int(data["seed"]),
+            )
+
+
+def trace_cache_dir() -> Path:
+    """Directory for cached traces (override with REPRO_TRACE_CACHE)."""
+    env = os.environ.get("REPRO_TRACE_CACHE")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".cache" / "traces"
+
+
+def cached_trace(key: str, builder) -> Trace:
+    """Load trace ``key`` from the cache, building and saving on miss."""
+    path = trace_cache_dir() / f"{key}.npz"
+    if path.exists():
+        try:
+            return Trace.load(path)
+        except Exception:
+            path.unlink(missing_ok=True)  # corrupt cache entry: rebuild
+    trace = builder()
+    trace.save(path)
+    return trace
+
+
+def validate_trace(trace: Trace) -> list[str]:
+    """Structural sanity checks; returns a list of problems (empty = ok)."""
+    problems = []
+    if len(trace) == 0:
+        problems.append("empty trace")
+        return problems
+    if trace.instrs.min() < 1:
+        problems.append("fetch record with zero instructions")
+    from repro.common.bitops import INSTRS_PER_BLOCK
+
+    if trace.instrs.max() > INSTRS_PER_BLOCK:
+        problems.append(
+            f"fetch record with more than {INSTRS_PER_BLOCK} instructions"
+        )
+    if trace.branch_kind.max() > BranchKind.INDIRECT:
+        problems.append("unknown branch kind")
+    nonseq = trace.branch_kind != BranchKind.SEQUENTIAL
+    if bool((trace.branch_site[nonseq] < 0).any()):
+        problems.append("non-sequential transfer without a branch site")
+    if bool((trace.branch_site[~nonseq] != -1).any()):
+        problems.append("sequential transfer carrying a branch site")
+    return problems

@@ -1,0 +1,54 @@
+"""Shared fixtures: small, deterministic traces and runners.
+
+Tests run on deliberately short traces (10-20k fetch records) so the
+whole suite stays fast; the benchmarks exercise full-length runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import Runner
+from repro.harness.schemes import SchemeContext
+from repro.workloads.generator import WalkParams, generate_trace
+from repro.workloads.program import ProgramShape, build_program
+from repro.workloads.profiles import get_workload
+
+#: Trace length used by integration-level tests.
+SMALL_RECORDS = 15_000
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A short media-streaming trace (cached on disk after first build)."""
+    return get_workload("media-streaming").trace(records=SMALL_RECORDS)
+
+
+@pytest.fixture(scope="session")
+def small_context(small_trace):
+    return SchemeContext(trace=small_trace)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace():
+    """A really small synthetic trace for unit-level engine tests."""
+    shape = ProgramShape(
+        hot_functions=8,
+        groups=2,
+        handlers_per_group=6,
+        handler_size=(4, 10),
+        shared_handlers=4,
+        cold_functions=40,
+        cold_size=(8, 16),
+    )
+    walk = WalkParams(
+        target_records=4_000, phases=(3, 5), cold_phase_prob=0.3
+    )
+    program = build_program(shape, seed=3)
+    return generate_trace(program, walk, seed=4, name="tiny")
+
+
+@pytest.fixture()
+def runner():
+    """In-memory-only runner over short traces."""
+    return Runner(records=SMALL_RECORDS, use_disk_cache=False)

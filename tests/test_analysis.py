@@ -1,0 +1,201 @@
+"""Tests for the analysis modules: reuse, markov, storage, energy, comparisons."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.comparisons import (
+    cshr_lifetime_distribution,
+    ifilter_insertion_deltas,
+)
+from repro.analysis.energy import (
+    EnergyParams,
+    acic_energy_saving_percent,
+    run_energy,
+    sram_access_energy,
+)
+from repro.analysis.markov import MARKOV_STATES, reuse_markov_chain
+from repro.analysis.reuse import reuse_histogram, stack_distances
+from repro.analysis.storage import (
+    ACICStorageConfig,
+    acic_storage_bits,
+    acic_storage_kb,
+    scheme_storage_kb,
+)
+from repro.uarch.timing import RunResult
+
+
+class TestStackDistances:
+    def test_cold_accesses_marked(self):
+        d = stack_distances([1, 2, 3])
+        assert list(d) == [-1, -1, -1]
+
+    def test_same_block_is_zero(self):
+        d = stack_distances([1, 1, 1])
+        assert list(d) == [-1, 0, 0]
+
+    def test_classic_example(self):
+        # 1 2 3 1 : two unique blocks (2, 3) between the accesses to 1.
+        d = stack_distances([1, 2, 3, 1])
+        assert d[3] == 2
+
+    def test_reaccess_resets_marker(self):
+        # 1 2 1 2 : distance of final 2 is 1 (only block 1 between).
+        d = stack_distances([1, 2, 1, 2])
+        assert d[2] == 1
+        assert d[3] == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=150))
+    def test_matches_bruteforce(self, blocks):
+        distances = stack_distances(blocks)
+        last = {}
+        for i, b in enumerate(blocks):
+            if b in last:
+                unique = len(set(blocks[last[b] + 1 : i]))
+                assert distances[i] == unique
+            else:
+                assert distances[i] == -1
+            last[b] = i
+
+
+class TestReuseHistogram:
+    def test_bucket_labels(self):
+        hist = reuse_histogram([1, 1, 2, 1])
+        assert set(hist.counts) == {"0", "1-16", "16-512", "512-1024", "1024-10000"}
+
+    def test_percentages_sum_to_100(self):
+        blocks = [1, 1, 2, 3, 1, 2, 2]
+        hist = reuse_histogram(blocks)
+        assert sum(hist.percentages().values()) + (
+            100.0 * hist.beyond / hist.total_reuses
+        ) == pytest.approx(100.0)
+
+    def test_cold_counted_separately(self):
+        hist = reuse_histogram([1, 2, 3])
+        assert hist.cold == 3
+        assert hist.total_reuses == 0
+
+
+class TestMarkov:
+    def test_states(self):
+        chain = reuse_markov_chain([1, 1, 1, 2, 1])
+        assert tuple(chain.states) == MARKOV_STATES
+
+    def test_rows_normalised(self):
+        blocks = [1, 1, 2, 1, 1, 2, 2, 1]
+        chain = reuse_markov_chain(blocks)
+        probs = chain.transition_matrix()
+        for row, total in zip(probs, chain.counts.sum(axis=1)):
+            if total > 0:
+                assert row.sum() == pytest.approx(1.0)
+
+    def test_bursty_stream_has_high_self_transition(self):
+        blocks = []
+        for i in range(200):
+            blocks.extend([i % 7] * 10)  # strong bursts
+        chain = reuse_markov_chain(blocks)
+        assert chain.self_transition("0") > 0.8
+        assert chain.burstiness_score() > 0.8
+
+    def test_format_renders(self):
+        chain = reuse_markov_chain([1, 1, 2, 1])
+        text = chain.format()
+        assert "Markov chain" in text and "0" in text
+
+
+class TestStorage:
+    def test_table1_total_is_2_67_kb(self):
+        assert acic_storage_kb() == pytest.approx(2.67, abs=0.01)
+
+    def test_table1_component_breakdown(self):
+        bits = acic_storage_bits()
+        assert bits["i-Filter"] == 16 * (63 + 512)      # 1.123 KB
+        assert bits["HRT"] == 1024 * 4                  # 0.5 KB
+        assert bits["PT"] == 16 * 5                     # 10 B
+        assert bits["PT update queues"] == 16 * 10 * 5  # 100 B
+        assert bits["CSHR"] == 256 * 30                 # 0.9375 KB
+
+    def test_ifilter_storage_kb(self):
+        bits = acic_storage_bits()
+        assert bits["i-Filter"] / 8 / 1024 == pytest.approx(1.123, abs=0.003)
+
+    def test_sensitivity_configs_change_total(self):
+        bigger = ACICStorageConfig(hrt_entries=2048)
+        assert acic_storage_kb(bigger) > acic_storage_kb()
+        smaller = ACICStorageConfig(ifilter_slots=8)
+        assert acic_storage_kb(smaller) < acic_storage_kb()
+
+    def test_scheme_storage_ordering(self):
+        kb = scheme_storage_kb()
+        # ACIC needs less than GHRP (the paper's 2/3 claim).
+        assert kb["ACIC"] < kb["GHRP"]
+        assert kb["ACIC"] / kb["GHRP"] < 0.75
+        assert kb["OPT"] == 0.0
+
+
+def _fake_run(cycles, misses, instructions=1_000_000, accesses=200_000):
+    return RunResult(
+        workload="w",
+        scheme_name="s",
+        prefetcher_name="fdp",
+        instructions=instructions,
+        accesses=accesses,
+        cycles=cycles,
+        demand_misses=misses,
+        prefetches_issued=0,
+    )
+
+
+class TestEnergy:
+    def test_sram_energy_monotone_in_size(self):
+        p = EnergyParams()
+        assert sram_access_energy(64 * 1024, p) > sram_access_energy(32 * 1024, p)
+        assert sram_access_energy(0, p) == 0.0
+
+    def test_faster_run_uses_less_energy(self):
+        fast = run_energy(_fake_run(cycles=1e6, misses=1000))
+        slow = run_energy(_fake_run(cycles=2e6, misses=1000))
+        assert fast.total < slow.total
+
+    def test_fewer_misses_use_less_energy(self):
+        few = run_energy(_fake_run(cycles=1e6, misses=1000))
+        many = run_energy(_fake_run(cycles=1e6, misses=50000))
+        assert few.total < many.total
+
+    def test_acic_saving_positive_when_faster(self):
+        baseline = _fake_run(cycles=2.0e6, misses=20_000)
+        acic = _fake_run(cycles=1.95e6, misses=16_000)
+        saving = acic_energy_saving_percent(acic, baseline)
+        assert saving > 0
+
+    def test_acic_extra_structures_cost_something(self):
+        same = _fake_run(cycles=2.0e6, misses=20_000)
+        saving = acic_energy_saving_percent(same, same)
+        assert saving < 0  # identical performance: extra state only costs
+
+
+class TestComparisons:
+    @pytest.fixture(scope="class")
+    def small(self):
+        from repro.mem.oracle import NextUseOracle
+        from repro.workloads.profiles import get_workload
+
+        trace = get_workload("media-streaming").trace(records=8000)
+        return trace, NextUseOracle(trace.blocks)
+
+    def test_fig3b_detects_wrong_insertions(self, small):
+        trace, oracle = small
+        hist = ifilter_insertion_deltas(trace, oracle)
+        assert hist.total > 0
+        assert 0.0 <= hist.wrong_percent <= 100.0
+        assert sum(hist.counts) == hist.total
+
+    def test_fig6_distribution(self, small):
+        trace, _ = small
+        dist = cshr_lifetime_distribution(trace)
+        assert dist.total > 0
+        assert sum(dist.counts) == dist.total
+        assert 0.0 <= dist.resolved_within(256) <= 100.0
+        # Bigger capacity resolves at least as much.
+        assert dist.resolved_within(400) >= dist.resolved_within(50)

@@ -1,0 +1,98 @@
+"""Unit tests for repro.common.bitops."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitops import (
+    BLOCK_BYTES,
+    INSTRS_PER_BLOCK,
+    block_of,
+    fold_hash,
+    is_power_of_two,
+    log2_exact,
+    mask,
+    partial_tag,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    @pytest.mark.parametrize("bits,expected", [(1, 1), (4, 15), (12, 4095), (64, 2**64 - 1)])
+    def test_widths(self, bits, expected):
+        assert mask(bits) == expected
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    @given(st.integers(min_value=0, max_value=128))
+    def test_mask_is_all_ones(self, bits):
+        assert mask(bits) == (1 << bits) - 1
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 64, 4096, 1 << 40])
+    def test_powers(self, n):
+        assert is_power_of_two(n)
+        assert log2_exact(n) == n.bit_length() - 1
+
+    @pytest.mark.parametrize("n", [0, -1, 3, 6, 100, 4097])
+    def test_non_powers(self, n):
+        assert not is_power_of_two(n)
+        with pytest.raises(ValueError):
+            log2_exact(n)
+
+
+class TestBlockOf:
+    def test_block_granularity(self):
+        assert block_of(0) == 0
+        assert block_of(BLOCK_BYTES - 1) == 0
+        assert block_of(BLOCK_BYTES) == 1
+
+    def test_instrs_per_block(self):
+        assert INSTRS_PER_BLOCK == 16
+
+
+class TestFoldHash:
+    def test_range(self):
+        for value in range(1000):
+            assert 0 <= fold_hash(value, 10) < 1024
+
+    def test_deterministic(self):
+        assert fold_hash(12345, 12) == fold_hash(12345, 12)
+
+    def test_spreads_sequential_inputs(self):
+        # Sequential block ids should not collapse to few buckets.
+        buckets = {fold_hash(i, 8) for i in range(256)}
+        assert len(buckets) > 128
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            fold_hash(1, 0)
+
+    @given(st.integers(min_value=0, max_value=2**62), st.integers(min_value=1, max_value=40))
+    def test_always_in_range(self, value, bits):
+        assert 0 <= fold_hash(value, bits) < (1 << bits)
+
+
+class TestPartialTag:
+    def test_regional_sharing(self):
+        """All 64 blocks of an aligned region share a partial tag."""
+        base = 64 * 7
+        tags = {partial_tag(base + i, 12) for i in range(64)}
+        assert len(tags) == 1
+
+    def test_adjacent_regions_differ(self):
+        assert partial_tag(0, 12) != partial_tag(64, 12)
+
+    def test_wraps_at_width(self):
+        # Blocks 2^12 regions apart alias (the hardware trade-off).
+        block = 5 * 64
+        alias = block + (1 << 12) * 64
+        assert partial_tag(block, 12) == partial_tag(alias, 12)
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(min_value=1, max_value=20))
+    def test_range(self, block, bits):
+        assert 0 <= partial_tag(block, bits) < (1 << bits)

@@ -1,0 +1,143 @@
+"""Unit and property tests for the LRU containers."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.containers import FullyAssociativeLRU, LRUSet
+
+
+class TestLRUSet:
+    def test_insert_and_contains(self):
+        s = LRUSet(2)
+        s.insert_mru(1)
+        assert 1 in s
+        assert 2 not in s
+
+    def test_eviction_order_is_lru(self):
+        s = LRUSet(2)
+        s.insert_mru(1)
+        s.insert_mru(2)
+        evicted = s.insert_mru(3)
+        assert evicted == 1
+        assert list(s) == [2, 3]
+
+    def test_touch_promotes(self):
+        s = LRUSet(2)
+        s.insert_mru(1)
+        s.insert_mru(2)
+        assert s.touch(1)
+        evicted = s.insert_mru(3)
+        assert evicted == 2
+
+    def test_touch_missing_returns_false(self):
+        s = LRUSet(2)
+        assert not s.touch(99)
+
+    def test_reinsert_promotes_without_eviction(self):
+        s = LRUSet(2)
+        s.insert_mru(1)
+        s.insert_mru(2)
+        assert s.insert_mru(1) is None
+        assert s.mru_key() == 1
+
+    def test_insert_lru_becomes_next_victim(self):
+        s = LRUSet(3)
+        s.insert_mru(1)
+        s.insert_mru(2)
+        s.insert_lru(3)
+        assert s.lru_key() == 3
+
+    def test_remove(self):
+        s = LRUSet(2)
+        s.insert_mru(1)
+        assert s.remove(1)
+        assert not s.remove(1)
+
+    def test_lru_position(self):
+        s = LRUSet(4)
+        for b in (10, 11, 12):
+            s.insert_mru(b)
+        assert s.lru_position(10) == 0
+        assert s.lru_position(12) == 2
+        with pytest.raises(KeyError):
+            s.lru_position(99)
+
+    def test_invalid_ways(self):
+        with pytest.raises(ValueError):
+            LRUSet(0)
+
+    @settings(max_examples=60)
+    @given(
+        ways=st.integers(min_value=1, max_value=8),
+        ops=st.lists(st.integers(min_value=0, max_value=12), max_size=200),
+    )
+    def test_matches_ordereddict_reference(self, ways, ops):
+        """Model-based check against an OrderedDict LRU reference."""
+        s = LRUSet(ways)
+        ref: OrderedDict = OrderedDict()
+        for op in ops:
+            if op in ref:
+                ref.move_to_end(op)
+                assert s.touch(op)
+            else:
+                assert not s.touch(op)
+                victim = s.insert_mru(op)
+                if len(ref) >= ways:
+                    expected_victim, _ = ref.popitem(last=False)
+                    assert victim == expected_victim
+                else:
+                    assert victim is None
+                ref[op] = None
+            assert list(s) == list(ref)
+
+
+class TestFullyAssociativeLRU:
+    def test_insert_returns_evicted_pair(self):
+        buf = FullyAssociativeLRU(2)
+        buf.insert(1, "a")
+        buf.insert(2, "b")
+        evicted = buf.insert(3, "c")
+        assert evicted == (1, "a")
+
+    def test_payload_roundtrip(self):
+        buf = FullyAssociativeLRU(4)
+        buf.insert(1, {"x": 1})
+        assert buf.get(1) == {"x": 1}
+
+    def test_set_value_requires_presence(self):
+        buf = FullyAssociativeLRU(2)
+        with pytest.raises(KeyError):
+            buf.set_value(1, "x")
+
+    def test_pop_lru(self):
+        buf = FullyAssociativeLRU(3)
+        buf.insert(1)
+        buf.insert(2)
+        assert buf.pop_lru() == (1, None)
+
+    def test_is_full(self):
+        buf = FullyAssociativeLRU(1)
+        assert not buf.is_full()
+        buf.insert(1)
+        assert buf.is_full()
+
+    def test_remove_missing_raises(self):
+        buf = FullyAssociativeLRU(1)
+        with pytest.raises(KeyError):
+            buf.remove(5)
+
+    def test_touch_refreshes_recency(self):
+        buf = FullyAssociativeLRU(2)
+        buf.insert(1)
+        buf.insert(2)
+        buf.touch(1)
+        assert buf.lru_key() == 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=150))
+    def test_capacity_never_exceeded(self, ops):
+        buf = FullyAssociativeLRU(5)
+        for op in ops:
+            buf.insert(op)
+            assert len(buf) <= 5

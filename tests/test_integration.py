@@ -1,0 +1,69 @@
+"""End-to-end integration tests: the paper's qualitative claims hold.
+
+These run on a short media-streaming trace (the flagship ACIC-friendly
+app), so they assert *orderings*, not absolute magnitudes.
+"""
+
+import pytest
+
+from repro.analysis.reuse import reuse_histogram
+
+
+@pytest.fixture(scope="module")
+def results(request):
+    """LRU / OPT / ACIC / always-insert runs on the shared small trace."""
+    from repro.harness.runner import Runner
+
+    runner = Runner(records=40_000, use_disk_cache=False)
+    names = ("lru", "opt", "acic", "ifilter-always", "vvc")
+    return {name: runner.run_live("media-streaming", name) for name in names}
+
+
+class TestHeadlineOrdering:
+    def test_opt_is_best(self, results):
+        for name, run in results.items():
+            assert results["opt"].mpki <= run.mpki + 1e-9, name
+
+    def test_acic_beats_lru(self, results):
+        assert results["acic"].mpki < results["lru"].mpki
+
+    def test_acic_beats_always_insert(self, results):
+        assert results["acic"].mpki <= results["ifilter-always"].mpki
+
+    def test_acic_speedup_positive(self, results):
+        speedup = results["acic"].speedup_over(results["lru"])
+        assert speedup > 1.0
+
+    def test_opt_speedup_exceeds_acic(self, results):
+        acic = results["acic"].speedup_over(results["lru"])
+        opt = results["opt"].speedup_over(results["lru"])
+        assert opt >= acic
+
+    def test_acic_filters_selectively(self, results):
+        scheme = results["acic"].scheme
+        rate = scheme.stats.admission_rate
+        assert 0.05 < rate < 0.95  # neither admit-all nor drop-all
+
+
+class TestTraceShape:
+    def test_figure_1a_shape(self, small_trace):
+        """Distance-0 dominates; intermediate mass exists (Figure 1a)."""
+        hist = reuse_histogram(small_trace.blocks, "media-streaming")
+        pct = hist.percentages()
+        assert pct["0"] > 60.0
+        assert pct["0"] > pct["1-16"] > 0
+        assert pct["512-1024"] > 0
+
+    def test_mpki_nonzero(self, results):
+        assert results["lru"].mpki > 1.0
+
+
+class TestSchemeInternalsAfterRun:
+    def test_acic_cshr_resolved_both_ways(self, results):
+        cshr = results["acic"].scheme.cshr
+        assert cshr.stats.victim_resolutions > 0
+        assert cshr.stats.contender_resolutions > 0
+
+    def test_vvc_parks_victims(self, results):
+        vvc_scheme = results["vvc"].scheme
+        assert vvc_scheme.vvc.stats.virtual_inserts > 0

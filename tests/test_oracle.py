@@ -1,0 +1,52 @@
+"""Tests for the next-use oracle."""
+
+from hypothesis import given, strategies as st
+
+from repro.mem.oracle import NEVER, NextUseOracle
+
+
+class TestNextUse:
+    def test_basic_chain(self):
+        oracle = NextUseOracle([5, 6, 5, 7, 5])
+        assert oracle.next_use_at(0) == 2
+        assert oracle.next_use_at(2) == 4
+        assert oracle.next_use_at(4) == NEVER
+        assert oracle.next_use_at(1) == NEVER
+
+    def test_next_use_of_arbitrary_time(self):
+        oracle = NextUseOracle([5, 6, 5, 7, 5])
+        assert oracle.next_use_of(5, 0) == 2
+        assert oracle.next_use_of(5, 2) == 4
+        assert oracle.next_use_of(5, 4) == NEVER
+        assert oracle.next_use_of(99, 0) == NEVER
+
+    def test_reuse_distance_after(self):
+        oracle = NextUseOracle([1, 2, 1])
+        assert oracle.reuse_distance_after(0) == 2
+        assert oracle.reuse_distance_after(1) == NEVER
+
+    @given(st.lists(st.integers(min_value=0, max_value=12), max_size=120))
+    def test_matches_bruteforce(self, blocks):
+        oracle = NextUseOracle(blocks)
+        for t, block in enumerate(blocks):
+            expected = NEVER
+            for j in range(t + 1, len(blocks)):
+                if blocks[j] == block:
+                    expected = j
+                    break
+            assert oracle.next_use_at(t) == expected
+            assert oracle.next_use_of(block, t) == expected
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=60),
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=-1, max_value=60),
+    )
+    def test_next_use_of_bruteforce_any_query(self, blocks, block, t):
+        oracle = NextUseOracle(blocks)
+        expected = NEVER
+        for j in range(max(0, t + 1), len(blocks)):
+            if blocks[j] == block:
+                expected = j
+                break
+        assert oracle.next_use_of(block, t) == expected

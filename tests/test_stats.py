@@ -1,0 +1,80 @@
+"""Unit and property tests for summary statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import RunningMean, geomean, histogram, mean, percent
+
+
+class TestGeomean:
+    def test_identity(self):
+        assert geomean([2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_speedup_style(self):
+        values = [1.02, 1.05, 0.98]
+        expected = math.exp(sum(math.log(v) for v in values) / 3)
+        assert geomean(values) == pytest.approx(expected)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+class TestPercent:
+    def test_basic(self):
+        assert percent(1, 4) == 25.0
+
+    def test_zero_whole(self):
+        assert percent(5, 0) == 0.0
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestRunningMean:
+    def test_streaming(self):
+        rm = RunningMean()
+        for v in (1.0, 2.0, 3.0):
+            rm.add(v)
+        assert rm.value == pytest.approx(2.0)
+        assert rm.count == 3
+
+    def test_empty_value_is_zero(self):
+        assert RunningMean().value == 0.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        counts = histogram([0, 5, 10, 15], edges=[1, 10])
+        assert counts == [1, 1, 2]
+
+    def test_bad_edges(self):
+        with pytest.raises(ValueError):
+            histogram([1], edges=[5, 5])
+
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100), max_size=100),
+    )
+    def test_total_preserved(self, values):
+        counts = histogram(values, edges=[-10, 0, 10])
+        assert sum(counts) == len(values)
