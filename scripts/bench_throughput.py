@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Measure simulator throughput and snapshot it to BENCH_throughput.json.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_throughput.py
+    PYTHONPATH=src python scripts/bench_throughput.py \
+        --schemes lru,acic --records 50000 --repeats 5
+
+Runs the fixed (workload, scheme, records, seed) grid from
+:mod:`repro.harness.throughput`, prints records/sec per scheme, writes
+the JSON snapshot at the repo root, and — when a previous snapshot on
+the same grid exists — prints the per-scheme speedup against it and
+whether the simulated scalars stayed bit-identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.harness.throughput import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_RECORDS,
+    DEFAULT_SCHEMES,
+    DEFAULT_WORKLOAD,
+    compare_reports,
+    load_report,
+    measure_grid,
+    report_path,
+    write_report,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default=DEFAULT_WORKLOAD)
+    parser.add_argument(
+        "--schemes",
+        default=",".join(DEFAULT_SCHEMES),
+        help="comma-separated scheme names",
+    )
+    parser.add_argument("--records", type=int, default=DEFAULT_RECORDS)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--prefetcher", default="fdp")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="snapshot path (default: BENCH_throughput.json at the repo root)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="measure and print only; leave the snapshot untouched",
+    )
+    args = parser.parse_args(argv)
+
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    out_path = args.output or report_path()
+    previous = load_report(out_path)
+
+    report = measure_grid(
+        workload=args.workload,
+        schemes=schemes,
+        records=args.records,
+        prefetcher=args.prefetcher,
+        repeats=args.repeats,
+    )
+
+    print(
+        f"workload={report['workload']} records={report['records']} "
+        f"seed={report['seed']} prefetcher={report['prefetcher']} "
+        f"best-of-{report['repeats']}"
+    )
+    delta = compare_reports(previous, report) if previous else {}
+    for name in schemes:
+        entry = report["schemes"][name]
+        line = f"  {name:12s} {entry['records_per_sec']:>12,.0f} records/sec"
+        if name in delta:
+            d = delta[name]
+            tag = "identical" if d["scalars_identical"] else "CHANGED"
+            line += f"   {d['speedup']:.2f}x vs snapshot (scalars {tag})"
+        print(line)
+
+    if not args.no_write:
+        path = write_report(report, out_path)
+        print(f"\nsnapshot written to {path}")
+    if any(not d["scalars_identical"] for d in delta.values()):
+        print(
+            "WARNING: simulated scalars differ from the previous snapshot — "
+            "the engine's behaviour changed, not just its speed.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,9 @@ from typing import Deque, List, Tuple
 from repro.common.containers import FullyAssociativeLRU
 from repro.workloads.trace import Trace
 
+#: Shared empty result; candidate lists are read-only to callers.
+_NO_CANDIDATES: List[int] = []
+
 
 @dataclass
 class EntanglingStats:
@@ -49,6 +52,7 @@ class EntanglingPrefetcher:
         self.stats = EntanglingStats()
         self._recent: Deque[Tuple[int, int]] = deque(maxlen=history)
         self._now = 0
+        self._blocks = trace.blocks_list  # avoid per-record ndarray boxing
 
     # -- engine interface -------------------------------------------------------
 
@@ -83,10 +87,10 @@ class EntanglingPrefetcher:
 
     def candidates(self, i: int) -> List[int]:
         """Destinations entangled to the block fetched at record ``i``."""
-        block = int(self.trace.blocks[i])
+        block = self._blocks[i]
         dests = self.table.get(block)
         if not dests:
-            return []
+            return _NO_CANDIDATES
         self.table.touch(block)
         self.stats.issued += len(dests)
         return list(dests)

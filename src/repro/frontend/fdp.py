@@ -22,6 +22,11 @@ from repro.frontend.stack import BranchStack
 from repro.workloads.trace import Trace
 
 
+#: Shared empty result for records offering nothing new.  Callers treat
+#: candidate lists as read-only, so one instance serves every call.
+_NO_CANDIDATES: List[int] = []
+
+
 @dataclass
 class FDPStats:
     issued: int = 0
@@ -41,6 +46,8 @@ class FetchDirectedPrefetcher:
         self.depth = depth
         self.stats = FDPStats()
         self._ra = 1  # next record the run-ahead will examine
+        self._blocks = trace.blocks_list
+        self._last = len(trace) - 1
 
     def candidates(self, i: int) -> List[int]:
         """Blocks newly reachable by run-ahead while fetch sits at ``i``.
@@ -50,17 +57,25 @@ class FetchDirectedPrefetcher:
         stalled on an unpredictable transition, it re-arms as soon as
         fetch passes that record.
         """
-        if self._ra <= i:
-            self._ra = i + 1  # fetch resolved the blocking branch
-        limit = min(i + self.depth, len(self.trace) - 1)
-        blocks = self.trace.blocks
+        ra = self._ra
+        if ra <= i:
+            ra = i + 1  # fetch resolved the blocking branch
+        limit = i + self.depth
+        if limit > self._last:
+            limit = self._last
+        if ra > limit:
+            self._ra = ra
+            return _NO_CANDIDATES
+        blocks = self._blocks
+        predictable = self.stack.predictable
         out: List[int] = []
-        while self._ra <= limit:
-            if not self.stack.predictable(self._ra):
+        while ra <= limit:
+            if not predictable(ra):
                 self.stats.runahead_stalls += 1
                 break
-            out.append(int(blocks[self._ra]))
-            self._ra += 1
+            out.append(blocks[ra])
+            ra += 1
+        self._ra = ra
         self.stats.issued += len(out)
         return out
 
@@ -80,7 +95,7 @@ class NullPrefetcher:
         self.trace = trace
 
     def candidates(self, i: int) -> List[int]:
-        return []
+        return _NO_CANDIDATES
 
     def observe_fetch(self, block: int, cycle: int) -> None:
         pass

@@ -47,17 +47,23 @@ class BranchStack:
         self.predictor = predictor or TagePredictor()
         self.stats = BranchStackStats()
         self._verdicts: Dict[int, bool] = {}
+        # List views of the trace arrays: retire/predictable run once per
+        # record, and plain-list indexing avoids boxing an ndarray scalar
+        # (and the int() around it) on every call.
+        self._kinds = trace.branch_kind_list
+        self._sites = trace.branch_site_list
+        self._blocks = trace.blocks_list
 
     # -- verdicts -------------------------------------------------------------
 
     def _evaluate(self, j: int) -> bool:
-        kind = int(self.trace.branch_kind[j])
+        kind = self._kinds[j]
         if kind == BranchKind.SEQUENTIAL:
             return True
         if kind == BranchKind.RETURN:
             return True  # return-address stack: effectively perfect
-        site = int(self.trace.branch_site[j])
-        target = int(self.trace.blocks[j])
+        site = self._sites[j]
+        target = self._blocks[j]
         if kind == BranchKind.COND_NOT_TAKEN:
             return not self.predictor.predict(site)
         if kind == BranchKind.COND_TAKEN:
@@ -83,14 +89,14 @@ class BranchStack:
         Returns True when the transition had been *mispredicted* (the
         engine charges the flush penalty for those).
         """
-        kind = int(self.trace.branch_kind[i])
+        kind = self._kinds[i]
         if kind == BranchKind.SEQUENTIAL:
             return False
         mispredicted = not self.predictable(i)
         if mispredicted:
             self.stats.mispredicted_transitions += 1
-        site = int(self.trace.branch_site[i])
-        target = int(self.trace.blocks[i])
+        site = self._sites[i]
+        target = self._blocks[i]
         if kind == BranchKind.COND_TAKEN:
             self.stats.conditional_branches += 1
             if self.predictor.predict(site):

@@ -1,4 +1,4 @@
-"""Sweep runner with two-level result caching.
+"""Sweep runner with two-level result caching and parallel execution.
 
 Figure 10 alone needs ~120 (workload, scheme) runs; most benches share
 the LRU/OPT baselines.  The runner caches:
@@ -10,6 +10,12 @@ the LRU/OPT baselines.  The runner caches:
   machine fingerprint), so separate pytest invocations don't resimulate.
 
 Set ``REPRO_NO_DISK_CACHE=1`` to disable the disk layer (tests do).
+
+``sweep`` can fan uncached pairs out across worker processes
+(``jobs=N`` or the ``REPRO_JOBS`` environment variable): workers
+simulate and return the scalar measurements, the parent stores them in
+both cache layers.  Cache hits are resolved in the parent and never
+fork a worker, so a warm sweep costs the same as before.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Tuple
@@ -52,6 +59,36 @@ _SCALAR_FIELDS = (
     "prefetches_issued",
     "mispredicted_transitions",
 )
+
+
+def _default_jobs() -> int:
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        jobs = int(env)
+        if jobs <= 0:
+            raise ValueError(f"REPRO_JOBS must be positive, got {jobs}")
+        return jobs
+    return 1
+
+
+def _sweep_worker(
+    payload: Tuple[str, str, str, int, MachineParams],
+) -> Tuple[str, str, Dict[str, object]]:
+    """Simulate one (workload, scheme) pair in a worker process.
+
+    Runs uncached (the parent already filtered cache hits) and returns
+    only the scalar measurements — live scheme objects don't cross the
+    process boundary.
+    """
+    workload, scheme, prefetcher, records, machine = payload
+    run = run_experiment(
+        workload,
+        scheme,
+        prefetcher=prefetcher,
+        records=records,
+        machine=machine,
+    ).run
+    return workload, scheme, {k: getattr(run, k) for k in _SCALAR_FIELDS}
 
 
 class Runner:
@@ -102,6 +139,26 @@ class Runner:
         payload = {k: getattr(run, k) for k in _SCALAR_FIELDS}
         path.write_text(json.dumps(payload))
 
+    def _cached(
+        self, workload: str, scheme: str, *, allow_disk: bool = True
+    ) -> Optional[RunResult]:
+        """Consult both cache layers without simulating."""
+        cached = self._memory.get(self._key(workload, scheme))
+        if cached is not None:
+            return cached
+        if allow_disk and self.use_disk_cache:
+            loaded = self._load_disk(workload, scheme)
+            if loaded is not None:
+                self._memory[self._key(workload, scheme)] = loaded
+                return loaded
+        return None
+
+    def _admit(self, workload: str, scheme: str, result: RunResult) -> None:
+        """Install a fresh result in both cache layers."""
+        self._memory[self._key(workload, scheme)] = result
+        if self.use_disk_cache:
+            self._store_disk(workload, scheme, result)
+
     def context_for(self, workload: str) -> SchemeContext:
         """Shared trace/oracle context per workload."""
         ctx = self._contexts.get(workload)
@@ -113,17 +170,16 @@ class Runner:
 
     # -- running ------------------------------------------------------------
 
-    def run(self, workload: str, scheme: str) -> RunResult:
-        """Run (or fetch from cache) one workload/scheme pair."""
-        key = self._key(workload, scheme)
-        cached = self._memory.get(key)
-        if cached is not None:
+    def _run(self, workload: str, scheme: str, *, allow_disk: bool) -> RunResult:
+        """Run one pair, consulting the caches first.
+
+        ``allow_disk=False`` skips the disk layer *and* rejects memory
+        entries without a live scheme object (disk-loaded scalars), for
+        callers that need scheme internals.
+        """
+        cached = self._cached(workload, scheme, allow_disk=allow_disk)
+        if cached is not None and (allow_disk or cached.scheme is not None):
             return cached
-        if self.use_disk_cache:
-            loaded = self._load_disk(workload, scheme)
-            if loaded is not None:
-                self._memory[key] = loaded
-                return loaded
         result = run_experiment(
             workload,
             scheme,
@@ -132,29 +188,16 @@ class Runner:
             machine=self.machine,
             context=self.context_for(workload),
         ).run
-        self._memory[key] = result
-        if self.use_disk_cache:
-            self._store_disk(workload, scheme, result)
+        self._admit(workload, scheme, result)
         return result
+
+    def run(self, workload: str, scheme: str) -> RunResult:
+        """Run (or fetch from cache) one workload/scheme pair."""
+        return self._run(workload, scheme, allow_disk=True)
 
     def run_live(self, workload: str, scheme: str) -> RunResult:
         """Run bypassing the disk cache (when scheme internals are needed)."""
-        key = self._key(workload, scheme)
-        cached = self._memory.get(key)
-        if cached is not None and cached.scheme is not None:
-            return cached
-        result = run_experiment(
-            workload,
-            scheme,
-            prefetcher=self.prefetcher,
-            records=self.records,
-            machine=self.machine,
-            context=self.context_for(workload),
-        ).run
-        self._memory[key] = result
-        if self.use_disk_cache:
-            self._store_disk(workload, scheme, result)
-        return result
+        return self._run(workload, scheme, allow_disk=False)
 
     # -- derived metrics ------------------------------------------------------
 
@@ -169,11 +212,48 @@ class Runner:
         )
 
     def sweep(
-        self, workloads: Iterable[str], schemes: Iterable[str]
+        self,
+        workloads: Iterable[str],
+        schemes: Iterable[str],
+        jobs: Optional[int] = None,
     ) -> Dict[Tuple[str, str], RunResult]:
-        """Run the full cross product; returns {(workload, scheme): result}."""
-        out = {}
-        for workload in workloads:
-            for scheme in schemes:
-                out[(workload, scheme)] = self.run(workload, scheme)
-        return out
+        """Run the full cross product; returns {(workload, scheme): result}.
+
+        ``jobs`` > 1 simulates uncached pairs in that many worker
+        processes (default: the ``REPRO_JOBS`` environment variable,
+        falling back to serial).  Results are identical to the serial
+        sweep: the engine is deterministic and workers only return
+        scalar measurements, which the parent installs in both cache
+        layers.
+        """
+        workloads = list(workloads)
+        schemes = list(schemes)
+        if jobs is None:
+            jobs = _default_jobs()
+        elif jobs <= 0:
+            raise ValueError(f"jobs must be positive, got {jobs}")
+        pairs = [(w, s) for w in workloads for s in schemes]
+
+        pending = [
+            (w, s)
+            for w, s in dict.fromkeys(pairs)  # dedupe repeated inputs
+            if self._cached(w, s) is None
+        ]
+        if jobs > 1 and len(pending) > 1:
+            # Build (and disk-cache) each pending workload's trace in the
+            # parent first: workers then load the .npz instead of racing
+            # to regenerate the same trace N times.
+            for workload in sorted({w for w, _ in pending}):
+                self.context_for(workload)
+            payloads = [
+                (w, s, self.prefetcher, self.records, self.machine)
+                for w, s in pending
+            ]
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(payloads))
+            ) as pool:
+                futures = [pool.submit(_sweep_worker, p) for p in payloads]
+                for future in as_completed(futures):
+                    workload, scheme, scalars = future.result()
+                    self._admit(workload, scheme, RunResult(**scalars))
+        return {(w, s): self.run(w, s) for w, s in pairs}

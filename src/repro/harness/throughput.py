@@ -1,0 +1,180 @@
+"""Simulation-throughput measurement: the repo's perf regression gauge.
+
+Every figure is a sweep over (workload, scheme) pairs pushed through
+``simulate``; how many fetch records per second the engine sustains
+bounds how many scenarios the reproduction can explore.  This module
+measures that number on a fixed (workload, scheme, records, seed) grid
+so the perf trajectory is comparable across PRs, and snapshots it to
+``BENCH_throughput.json`` at the repo root.
+
+The measurement is deliberately simple — best-of-N wall-clock of a
+fresh, uncached simulation — because the quantity tracked is the
+engine's single-run throughput, not cache behaviour.  The per-scheme
+``scalars`` in the report double as a regression oracle: an engine
+change that alters them changed simulated behaviour, not just speed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from repro.frontend.stack import BranchStack
+from repro.harness.experiment import build_prefetcher
+from repro.harness.schemes import SchemeContext, make_scheme
+from repro.uarch.params import DEFAULT_MACHINE, MachineParams
+from repro.uarch.timing import simulate
+from repro.workloads.profiles import get_workload
+from repro.workloads.trace import Trace
+
+#: The fixed grid: one representative datacenter trace, the baseline
+#: scheme (the ≥2.5x target), the paper's contribution (the ≥1.5x
+#: target), and the slowest policy competitors as canaries.
+DEFAULT_WORKLOAD = "media-streaming"
+DEFAULT_SCHEMES = ("lru", "acic", "opt", "srrip", "ghrp", "harmony")
+DEFAULT_RECORDS = 20_000
+
+#: Scalars that must be bit-identical across engine optimisations.
+SCALAR_FIELDS = (
+    "instructions",
+    "accesses",
+    "cycles",
+    "demand_misses",
+    "late_prefetch_misses",
+    "prefetches_issued",
+    "mispredicted_transitions",
+)
+
+
+@dataclass
+class ThroughputSample:
+    """Best-of-N timing of one scheme over one trace."""
+
+    scheme: str
+    records: int
+    seconds: float
+    records_per_sec: float
+    scalars: Dict[str, float] = field(default_factory=dict)
+
+
+def measure_scheme(
+    trace: Trace,
+    scheme_name: str,
+    prefetcher: str = "fdp",
+    machine: Optional[MachineParams] = None,
+    repeats: int = 3,
+) -> ThroughputSample:
+    """Time ``repeats`` fresh simulations of ``scheme_name``; keep the best.
+
+    Every repeat rebuilds the scheme/stack/prefetcher so no state leaks
+    between rounds and the measured cost is a true cold single run.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    machine = machine or DEFAULT_MACHINE
+    best = None
+    result = None
+    ctx = SchemeContext(trace=trace, machine=machine)
+    for _ in range(repeats):
+        scheme = make_scheme(scheme_name, ctx)
+        stack = BranchStack(trace)
+        pf = build_prefetcher(prefetcher, trace, stack, machine)
+        start = time.perf_counter()
+        result = simulate(trace, scheme, pf, stack, machine)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    scalars = {name: getattr(result, name) for name in SCALAR_FIELDS}
+    return ThroughputSample(
+        scheme=scheme_name,
+        records=len(trace),
+        seconds=best,
+        records_per_sec=len(trace) / best if best else 0.0,
+        scalars=scalars,
+    )
+
+
+def measure_grid(
+    workload: str = DEFAULT_WORKLOAD,
+    schemes: Iterable[str] = DEFAULT_SCHEMES,
+    records: int = DEFAULT_RECORDS,
+    prefetcher: str = "fdp",
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Measure every scheme on the fixed grid; returns the report dict."""
+    trace = get_workload(workload).trace(records=records)
+    samples = {
+        name: measure_scheme(trace, name, prefetcher=prefetcher, repeats=repeats)
+        for name in schemes
+    }
+    return {
+        "workload": workload,
+        "records": records,
+        "seed": trace.seed,
+        "prefetcher": prefetcher,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "schemes": {
+            name: {
+                "records_per_sec": round(s.records_per_sec, 1),
+                "seconds": round(s.seconds, 6),
+                "scalars": s.scalars,
+            }
+            for name, s in samples.items()
+        },
+    }
+
+
+def report_path() -> Path:
+    """``BENCH_throughput.json`` at the repo root."""
+    return Path(__file__).resolve().parents[3] / "BENCH_throughput.json"
+
+
+def write_report(report: Dict[str, object], path: Optional[Path] = None) -> Path:
+    path = path or report_path()
+    path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: Optional[Path] = None) -> Optional[Dict[str, object]]:
+    path = path or report_path()
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return None
+
+
+def compare_reports(
+    old: Dict[str, object], new: Dict[str, object]
+) -> Dict[str, Dict[str, object]]:
+    """Per-scheme throughput ratio and scalar drift between two reports.
+
+    Only schemes measured on the same (workload, records, prefetcher)
+    grid are comparable; mismatched grids return an empty dict.
+    """
+    same_grid = all(
+        old.get(k) == new.get(k) for k in ("workload", "records", "prefetcher")
+    )
+    if not same_grid:
+        return {}
+    out: Dict[str, Dict[str, object]] = {}
+    for name, entry in new["schemes"].items():
+        before = old["schemes"].get(name)
+        if before is None:
+            continue
+        ratio = (
+            entry["records_per_sec"] / before["records_per_sec"]
+            if before["records_per_sec"]
+            else 0.0
+        )
+        out[name] = {
+            "speedup": round(ratio, 3),
+            "scalars_identical": entry["scalars"] == before["scalars"],
+        }
+    return out

@@ -95,6 +95,10 @@ class FillResult:
     already_present: bool = False
 
 
+#: Sentinel distinguishing "absent" from a stored ``None`` payload.
+_ABSENT = object()
+
+
 class SetAssociativeCache:
     """Tag array + recency order; replacement delegated to a policy."""
 
@@ -103,6 +107,9 @@ class SetAssociativeCache:
         self.policy = policy
         self._set_mask = mask(config.set_index_bits)
         self._sets = [LRUSet(config.ways) for _ in range(config.num_sets)]
+        # The demand-hit path skips the policy callback entirely when the
+        # policy declares it a no-op (LRU: recency order *is* the state).
+        self._on_hit = None if policy.trivial_on_hit else policy.on_hit
         self.stats = CacheStats()
 
     # -- indexing ----------------------------------------------------------
@@ -117,14 +124,24 @@ class SetAssociativeCache:
     # -- access path -------------------------------------------------------
 
     def lookup(self, block: int, t: int = 0) -> bool:
-        """Demand lookup.  On hit, promotes recency and notifies policy."""
-        self.stats.demand_accesses += 1
-        line_set = self._sets[block & self._set_mask]
-        if line_set.touch(block):
-            self.stats.demand_hits += 1
-            self.policy.on_hit(block & self._set_mask, block, t)
-            return True
-        return False
+        """Demand lookup.  On hit, promotes recency and notifies policy.
+
+        This is the simulator's hottest call (once per fetch record per
+        cache level), so the hit path is a fused pop/reinsert on the
+        set's backing dict rather than a ``touch`` call.
+        """
+        stats = self.stats
+        stats.demand_accesses += 1
+        set_index = block & self._set_mask
+        lines = self._sets[set_index]._lines
+        value = lines.pop(block, _ABSENT)
+        if value is _ABSENT:
+            return False
+        lines[block] = value  # back in at MRU
+        stats.demand_hits += 1
+        if self._on_hit is not None:
+            self._on_hit(set_index, block, t)
+        return True
 
     def contains(self, block: int) -> bool:
         """Presence probe with no side effects (prefetch dedup, tests)."""
@@ -145,7 +162,9 @@ class SetAssociativeCache:
 
         evicted: Optional[int] = None
         if len(line_set) >= line_set.ways:
-            victim = self.policy.victim(set_index, list(line_set), block, t)
+            # The live set view iterates LRU -> MRU; passing it directly
+            # avoids materialising a list per fill.
+            victim = self.policy.victim(set_index, line_set, block, t)
             if victim is None:
                 self.stats.bypasses += 1
                 return FillResult(inserted=False)

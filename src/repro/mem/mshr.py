@@ -5,12 +5,19 @@ of MSHR that tracks outstanding misses"; we model the MSHR file both to
 honour that lineage and because the timing engine uses it to merge
 demand fetches into in-flight prefetches (a demand hit on an MSHR pays
 only the *remaining* latency, a key FDP timeliness effect).
+
+The file keeps a running lower bound on the earliest completion cycle
+(``next_ready``) so the timing engine can skip ``drain`` entirely while
+nothing is due — the common case, since most records issue no prefetch
+and complete no fill.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+_NEVER = float("inf")
 
 
 @dataclass
@@ -28,6 +35,10 @@ class MSHRFile:
             raise ValueError(f"MSHR entries must be positive, got {entries}")
         self.entries = entries
         self._pending: Dict[int, int] = {}
+        # Lower bound on min(pending completion cycles); exact after every
+        # drain scan, possibly stale-low after cancel / full-stall pops.
+        # A stale-low bound only costs a spurious scan, never a missed fill.
+        self._min_ready: float = _NEVER
         self.stats = MSHRStats()
 
     def __len__(self) -> int:
@@ -36,11 +47,20 @@ class MSHRFile:
     def __contains__(self, block: int) -> bool:
         return block in self._pending
 
-    def drain(self, now: int) -> list[int]:
+    @property
+    def next_ready(self) -> float:
+        """Earliest cycle at which any pending fill may complete (inf if none)."""
+        return self._min_ready
+
+    def drain(self, now: int) -> List[int]:
         """Retire every miss whose fill has completed by ``now``."""
-        done = [b for b, ready in self._pending.items() if ready <= now]
+        if now < self._min_ready:
+            return []
+        pending = self._pending
+        done = [b for b, ready in pending.items() if ready <= now]
         for block in done:
-            del self._pending[block]
+            del pending[block]
+        self._min_ready = min(pending.values()) if pending else _NEVER
         return done
 
     def ready_cycle(self, block: int) -> Optional[int]:
@@ -66,13 +86,18 @@ class MSHRFile:
             earliest = self._pending.pop(earliest_block)
             ready_cycle += max(0, earliest - now)
         self._pending[block] = ready_cycle
+        if ready_cycle < self._min_ready:
+            self._min_ready = ready_cycle
         self.stats.allocations += 1
         return ready_cycle
 
     def cancel(self, block: int) -> None:
         """Drop the outstanding entry for ``block`` (demand takeover)."""
         self._pending.pop(block, None)
+        if not self._pending:
+            self._min_ready = _NEVER
 
     def reset(self) -> None:
         self._pending.clear()
+        self._min_ready = _NEVER
         self.stats = MSHRStats()

@@ -14,7 +14,7 @@ the oracle policy (Belady OPT) needs it; hardware policies ignore it.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence
+from typing import Iterable, Optional
 
 
 class ReplacementPolicy(ABC):
@@ -32,6 +32,10 @@ class ReplacementPolicy(ABC):
 
     name = "base"
 
+    #: Policies whose ``on_hit`` does nothing set this True so the cache
+    #: can skip the callback on its hottest path (the demand hit).
+    trivial_on_hit = False
+
     @abstractmethod
     def on_hit(self, set_index: int, block: int, t: int) -> None:
         """Record a demand hit on ``block``."""
@@ -40,16 +44,18 @@ class ReplacementPolicy(ABC):
     def victim(
         self,
         set_index: int,
-        resident: Sequence[int],
+        resident: Iterable[int],
         incoming: int,
         t: int,
     ) -> Optional[int]:
         """Pick the replacement victim among ``resident`` lines.
 
-        ``resident`` is ordered LRU -> MRU (the cache's recency order).
-        Returning None tells the cache to drop ``incoming`` instead of
-        filling (a bypass decision made by the replacement policy, as
-        GHRP and OPT do).
+        ``resident`` iterates LRU -> MRU (the cache's recency order).
+        It may be the cache's *live* set view rather than a list, so
+        policies must only iterate it (repeatedly is fine) — no indexing
+        and no mutation of the set while choosing.  Returning None tells
+        the cache to drop ``incoming`` instead of filling (a bypass
+        decision made by the replacement policy, as GHRP and OPT do).
         """
 
     @abstractmethod

@@ -12,7 +12,7 @@ on every touch, so victim selection is a max over ``ways`` values.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Iterable
 
 from repro.mem.oracle import NEVER, NextUseOracle
 from repro.mem.policies.base import ReplacementPolicy
@@ -34,12 +34,12 @@ class BeladyOPTPolicy(ReplacementPolicy):
     def victim(
         self,
         set_index: int,
-        resident: Sequence[int],
+        resident: Iterable[int],
         incoming: int,
         t: int,
     ) -> Optional[int]:
         next_use = self._next_use
-        victim = resident[0]
+        victim = None
         furthest = -1
         for block in resident:
             when = next_use.get(block, NEVER)

@@ -21,7 +21,7 @@ signature, 16-bit history register -> 4.06 KB.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Iterable, Tuple
 
 from repro.common.bitops import fold_hash, mask
 from repro.mem.policies.base import ReplacementPolicy
@@ -107,7 +107,7 @@ class GHRPPolicy(ReplacementPolicy):
     def victim(
         self,
         set_index: int,
-        resident: Sequence[int],
+        resident: Iterable[int],
         incoming: int,
         t: int,
     ) -> Optional[int]:
@@ -115,7 +115,7 @@ class GHRPPolicy(ReplacementPolicy):
             indices = self._line_indices.get(block)
             if indices is not None and self._predict_dead(indices):
                 return block
-        return resident[0]
+        return next(iter(resident))
 
     def on_fill(self, set_index: int, block: int, t: int, prefetch: bool) -> None:
         signature = self._signature(block)

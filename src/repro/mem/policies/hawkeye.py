@@ -14,7 +14,7 @@ Table IV configuration: 64-entry occupancy vectors, 8K-entry predictor,
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Iterable, Tuple
 
 from repro.common.bitops import fold_hash, mask
 from repro.mem.policies.base import ReplacementPolicy
@@ -138,7 +138,7 @@ class HawkeyePolicy(ReplacementPolicy):
     def victim(
         self,
         set_index: int,
-        resident: Sequence[int],
+        resident: Iterable[int],
         incoming: int,
         t: int,
     ) -> Optional[int]:
@@ -148,7 +148,7 @@ class HawkeyePolicy(ReplacementPolicy):
                 return block
         # No cache-averse candidate: evict the stalest friendly line and
         # detrain its signature (Hawkeye's corrective feedback).
-        victim = resident[0]
+        victim = next(iter(resident))
         worst = -1
         for block in resident:
             rrpv = rrpvs.get(block, 0)

@@ -6,7 +6,7 @@ its own: the victim is simply the head of the recency list.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterable, Optional
 
 from repro.mem.policies.base import ReplacementPolicy
 
@@ -15,6 +15,7 @@ class LRUPolicy(ReplacementPolicy):
     """True LRU within each set."""
 
     name = "lru"
+    trivial_on_hit = True
 
     def on_hit(self, set_index: int, block: int, t: int) -> None:
         pass  # recency promoted by the cache
@@ -22,11 +23,11 @@ class LRUPolicy(ReplacementPolicy):
     def victim(
         self,
         set_index: int,
-        resident: Sequence[int],
+        resident: Iterable[int],
         incoming: int,
         t: int,
     ) -> Optional[int]:
-        return resident[0]
+        return next(iter(resident))
 
     def on_fill(self, set_index: int, block: int, t: int, prefetch: bool) -> None:
         pass

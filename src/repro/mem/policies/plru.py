@@ -13,7 +13,7 @@ found by walking toward the LRU side.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Iterable
 
 from repro.common.bitops import is_power_of_two, log2_exact
 from repro.mem.policies.base import ReplacementPolicy
@@ -69,7 +69,7 @@ class TreePLRUPolicy(ReplacementPolicy):
     def victim(
         self,
         set_index: int,
-        resident: Sequence[int],
+        resident: Iterable[int],
         incoming: int,
         t: int,
     ) -> Optional[int]:
@@ -78,7 +78,7 @@ class TreePLRUPolicy(ReplacementPolicy):
         victim = block_at.get(way)
         if victim is None:
             # Should not happen once the set is full; fall back to recency.
-            return resident[0]
+            return next(iter(resident))
         return victim
 
     def on_fill(self, set_index: int, block: int, t: int, prefetch: bool) -> None:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from typing import Iterable, Optional
 
 from repro.mem.policies.base import ReplacementPolicy
 
@@ -12,6 +12,7 @@ class RandomPolicy(ReplacementPolicy):
     """Evict a uniformly random resident line.  Seeded for determinism."""
 
     name = "random"
+    trivial_on_hit = True
 
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
@@ -23,11 +24,12 @@ class RandomPolicy(ReplacementPolicy):
     def victim(
         self,
         set_index: int,
-        resident: Sequence[int],
+        resident: Iterable[int],
         incoming: int,
         t: int,
     ) -> Optional[int]:
-        return resident[self._rng.randrange(len(resident))]
+        lines = tuple(resident)  # rare off-hot-path policy: sampling needs indexing
+        return lines[self._rng.randrange(len(lines))]
 
     def on_fill(self, set_index: int, block: int, t: int, prefetch: bool) -> None:
         pass

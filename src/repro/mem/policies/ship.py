@@ -14,7 +14,7 @@ same entity.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Iterable
 
 from repro.common.bitops import fold_hash, mask
 from repro.mem.policies.base import ReplacementPolicy
@@ -56,7 +56,7 @@ class SHiPPolicy(ReplacementPolicy):
     def victim(
         self,
         set_index: int,
-        resident: Sequence[int],
+        resident: Iterable[int],
         incoming: int,
         t: int,
     ) -> Optional[int]:

@@ -9,7 +9,7 @@ when none qualifies.  Table IV uses the 2-bit configuration.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Iterable
 
 from repro.common.bitops import mask
 from repro.mem.policies.base import ReplacementPolicy
@@ -41,7 +41,7 @@ class SRRIPPolicy(ReplacementPolicy):
     def victim(
         self,
         set_index: int,
-        resident: Sequence[int],
+        resident: Iterable[int],
         incoming: int,
         t: int,
     ) -> Optional[int]:

@@ -104,18 +104,45 @@ def simulate(
     machine: MachineParams,
     hierarchy: Optional[MemoryHierarchy] = None,
 ) -> RunResult:
-    """Run ``scheme`` over ``trace`` and return post-warmup measurements."""
+    """Run ``scheme`` over ``trace`` and return post-warmup measurements.
+
+    The loop body runs once per fetch record — two million times for a
+    full-length sweep pair — so everything invariant is hoisted out of
+    it: trace arrays become plain Python lists (one bulk conversion
+    instead of per-record ndarray scalar boxing), scheme/prefetcher/MSHR
+    methods are bound to locals, ``int(cycles)`` is computed once per
+    program point that needs it, branch retirement is gated on the
+    precomputed branch-kind list, and the MSHR drain is gated on the
+    file's running *next-ready cycle* instead of probing its occupancy
+    every record.
+    """
     hierarchy = hierarchy or MemoryHierarchy(machine.hierarchy)
     mshr = MSHRFile(machine.mshr_entries)
 
-    blocks = trace.blocks
-    instr_counts = trace.instrs
-    n = len(trace)
+    blocks = trace.blocks_list
+    instr_counts = trace.instrs_list
+    kinds = trace.branch_kind_list
+    n = len(blocks)
     warmup_end = int(n * machine.warmup_fraction)
 
     backend_ipc = machine.backend_ipc
     queue_cap = float(machine.decode_queue_instrs)
     penalty = machine.branch_mispredict_penalty
+
+    scheme_lookup = scheme.lookup
+    scheme_fill = scheme.fill
+    scheme_prefetch_fill = scheme.prefetch_fill
+    scheme_contains = scheme.contains
+    stack_retire = stack.retire
+    pf_candidates = prefetcher.candidates
+    pf_observe_fetch = prefetcher.observe_fetch
+    pf_on_demand_miss = prefetcher.on_demand_miss
+    hierarchy_access = hierarchy.access
+    mshr_drain = mshr.drain
+    mshr_ready_cycle = mshr.ready_cycle
+    mshr_cancel = mshr.cancel
+    mshr_allocate = mshr.allocate
+    mshr_contains = mshr.__contains__
 
     cycles = 0.0
     queue = 0.0
@@ -123,6 +150,7 @@ def simulate(
     late_prefetch = 0
     prefetches_issued = 0
     instructions = 0
+    next_ready = mshr.next_ready
 
     # Snapshots taken when warmup ends.
     base_cycles = 0.0
@@ -141,12 +169,13 @@ def simulate(
             base_instr = instructions
             base_mispred = stack.stats.mispredicted_transitions
 
-        block = int(blocks[i])
-        n_instr = int(instr_counts[i])
+        block = blocks[i]
+        n_instr = instr_counts[i]
         instructions += n_instr
 
         # Resolve and train the transition that led here; charge flushes.
-        if stack.retire(i):
+        # Sequential records (the vast majority) retire to nothing.
+        if kinds[i] and stack_retire(i):
             cycles += penalty
 
         # One front-end cycle per fetch record; the backend drains the
@@ -160,36 +189,45 @@ def simulate(
         elif queue < 0.0:
             queue = 0.0
 
-        # Prefetch fills that have arrived land in the scheme.
-        if len(mshr):
-            for done in mshr.drain(cycles):
-                scheme.prefetch_fill(done, i, int(cycles))
+        icycles = int(cycles)
 
-        hit = scheme.lookup(block, i, int(cycles))
-        if not hit:
+        # Prefetch fills that have arrived land in the scheme.
+        if next_ready <= cycles:
+            for done in mshr_drain(cycles):
+                scheme_prefetch_fill(done, i, icycles)
+            next_ready = mshr.next_ready
+
+        if not scheme_lookup(block, i, icycles):
             demand_misses += 1
-            ready = mshr.ready_cycle(block)
+            ready = mshr_ready_cycle(block)
             if ready is not None:
                 # Late prefetch: pay only the remaining latency.
-                mshr.cancel(block)
-                latency = max(0.0, ready - cycles)
+                mshr_cancel(block)
+                latency = ready - cycles
+                if latency < 0.0:
+                    latency = 0.0
                 late_prefetch += 1
             else:
-                latency = float(hierarchy.access(block, i))
-            prefetcher.on_demand_miss(block, int(cycles))
+                latency = float(hierarchy_access(block, i))
+            pf_on_demand_miss(block, icycles)
             # The decode-queue backlog hides part of the stall.
             stall = latency - queue / backend_ipc
             if stall > 0.0:
                 cycles += stall
-            queue = max(0.0, queue - latency * backend_ipc)
-            scheme.fill(block, i, int(cycles))
+            queue -= latency * backend_ipc
+            if queue < 0.0:
+                queue = 0.0
+            icycles = int(cycles)
+            scheme_fill(block, i, icycles)
 
-        prefetcher.observe_fetch(block, int(cycles))
-        for candidate in prefetcher.candidates(i):
-            if candidate in mshr or scheme.contains(candidate):
+        pf_observe_fetch(block, icycles)
+        for candidate in pf_candidates(i):
+            if mshr_contains(candidate) or scheme_contains(candidate):
                 continue
-            latency = float(hierarchy.access(candidate, i))
-            mshr.allocate(candidate, cycles + latency, cycles)
+            latency = float(hierarchy_access(candidate, i))
+            ready = mshr_allocate(candidate, cycles + latency, cycles)
+            if ready < next_ready:
+                next_ready = ready
             prefetches_issued += 1
 
     return RunResult(

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from functools import cached_property
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -49,7 +50,7 @@ class Trace:
     blocks: np.ndarray       # int64
     instrs: np.ndarray       # uint8
     branch_kind: np.ndarray  # uint8
-    branch_site: np.ndarray  # int32, -1 when sequential
+    branch_site: np.ndarray  # int64, -1 when sequential
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -63,6 +64,29 @@ class Trace:
 
     def __len__(self) -> int:
         return len(self.blocks)
+
+    # -- hot-loop list views --------------------------------------------------
+    #
+    # The timing engine, branch stack and prefetchers all index these
+    # arrays once per fetch record; plain-list indexing avoids boxing an
+    # ndarray scalar per access.  Cached so each conversion happens once
+    # per trace no matter how many components share it.
+
+    @cached_property
+    def blocks_list(self) -> List[int]:
+        return self.blocks.tolist()
+
+    @cached_property
+    def instrs_list(self) -> List[int]:
+        return self.instrs.tolist()
+
+    @cached_property
+    def branch_kind_list(self) -> List[int]:
+        return self.branch_kind.tolist()
+
+    @cached_property
+    def branch_site_list(self) -> List[int]:
+        return self.branch_site.tolist()
 
     @property
     def total_instructions(self) -> int:
@@ -144,9 +168,24 @@ def cached_trace(key: str, builder) -> Trace:
     return trace
 
 
+#: Expected array dtypes (the generator's contract with the simulator).
+_EXPECTED_DTYPES = {
+    "blocks": np.int64,
+    "instrs": np.uint8,
+    "branch_kind": np.uint8,
+    "branch_site": np.int64,
+}
+
+
 def validate_trace(trace: Trace) -> list[str]:
     """Structural sanity checks; returns a list of problems (empty = ok)."""
     problems = []
+    for field, expected in _EXPECTED_DTYPES.items():
+        actual = getattr(trace, field).dtype
+        if actual != np.dtype(expected):
+            problems.append(
+                f"{field} dtype is {actual}, expected {np.dtype(expected)}"
+            )
     if len(trace) == 0:
         problems.append("empty trace")
         return problems

@@ -1,0 +1,135 @@
+"""Runner disk-cache round-trip and parallel-sweep equivalence tests.
+
+The sweep layer promises two things the benches lean on: a disk-cached
+result is indistinguishable from a fresh simulation (same scalars), and
+``sweep(jobs=N)`` is indistinguishable from the serial sweep.  These
+tests pin both, plus the failure paths (corrupt cache entries, cache
+bypass via ``REPRO_NO_DISK_CACHE``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.runner import _SCALAR_FIELDS, Runner
+
+RECORDS = 4_000
+WORKLOAD = "x264"
+
+
+def _scalars(result):
+    return {k: getattr(result, k) for k in _SCALAR_FIELDS}
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    return tmp_path
+
+
+class TestDiskCacheRoundTrip:
+    def test_store_then_load_yields_equal_scalars(self, cache_dir):
+        writer = Runner(records=RECORDS, use_disk_cache=True)
+        fresh = writer.run(WORKLOAD, "lru")
+        assert list(cache_dir.glob("*.json")), "disk entry was not written"
+
+        reader = Runner(records=RECORDS, use_disk_cache=True)
+        loaded = reader.run(WORKLOAD, "lru")
+        assert _scalars(loaded) == _scalars(fresh)
+        # Disk-loaded results carry scalars only, not the live scheme.
+        assert loaded.scheme is None
+
+    def test_corrupt_entry_is_unlinked_and_rebuilt(self, cache_dir):
+        writer = Runner(records=RECORDS, use_disk_cache=True)
+        fresh = writer.run(WORKLOAD, "lru")
+        (entry,) = cache_dir.glob("*.json")
+        entry.write_text("{not json")
+
+        reader = Runner(records=RECORDS, use_disk_cache=True)
+        rebuilt = reader.run(WORKLOAD, "lru")
+        assert _scalars(rebuilt) == _scalars(fresh)
+        # The corrupt file was replaced by a valid, loadable entry.
+        (entry,) = cache_dir.glob("*.json")
+        assert json.loads(entry.read_text())["workload"] == WORKLOAD
+
+    def test_missing_fields_treated_as_corrupt(self, cache_dir):
+        writer = Runner(records=RECORDS, use_disk_cache=True)
+        fresh = writer.run(WORKLOAD, "lru")
+        (entry,) = cache_dir.glob("*.json")
+        payload = json.loads(entry.read_text())
+        del payload["cycles"]
+        entry.write_text(json.dumps(payload))
+
+        reader = Runner(records=RECORDS, use_disk_cache=True)
+        assert _scalars(reader.run(WORKLOAD, "lru")) == _scalars(fresh)
+
+    def test_no_disk_cache_env_bypasses(self, cache_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_DISK_CACHE", "1")
+        runner = Runner(records=RECORDS)
+        assert runner.use_disk_cache is False
+        runner.run(WORKLOAD, "lru")
+        assert not list(cache_dir.glob("*.json"))
+
+    def test_run_live_skips_disk_reads(self, cache_dir):
+        writer = Runner(records=RECORDS, use_disk_cache=True)
+        writer.run(WORKLOAD, "acic")
+
+        reader = Runner(records=RECORDS, use_disk_cache=True)
+        live = reader.run_live(WORKLOAD, "acic")
+        assert live.scheme is not None
+
+
+class TestSweep:
+    WORKLOADS = (WORKLOAD, "gcc")
+    SCHEMES = ("lru", "srrip")
+
+    def test_serial_sweep_covers_cross_product(self):
+        runner = Runner(records=RECORDS, use_disk_cache=False)
+        results = runner.sweep(self.WORKLOADS, self.SCHEMES)
+        assert set(results) == {
+            (w, s) for w in self.WORKLOADS for s in self.SCHEMES
+        }
+
+    def test_parallel_sweep_equals_serial(self):
+        serial = Runner(records=RECORDS, use_disk_cache=False)
+        parallel = Runner(records=RECORDS, use_disk_cache=False)
+        expected = serial.sweep(self.WORKLOADS, self.SCHEMES, jobs=1)
+        actual = parallel.sweep(self.WORKLOADS, self.SCHEMES, jobs=2)
+        assert set(actual) == set(expected)
+        for key in expected:
+            assert _scalars(actual[key]) == _scalars(expected[key]), key
+
+    def test_parallel_sweep_populates_both_cache_layers(self, cache_dir):
+        runner = Runner(records=RECORDS, use_disk_cache=True)
+        results = runner.sweep(self.WORKLOADS, self.SCHEMES, jobs=2)
+        # Memory layer: a repeat sweep returns the identical objects.
+        again = runner.sweep(self.WORKLOADS, self.SCHEMES, jobs=2)
+        assert all(again[k] is results[k] for k in results)
+        # Disk layer: one JSON entry per pair.
+        assert len(list(cache_dir.glob("*.json"))) == len(results)
+
+    def test_warm_sweep_uses_disk_without_forking(self, cache_dir):
+        writer = Runner(records=RECORDS, use_disk_cache=True)
+        expected = writer.sweep(self.WORKLOADS, self.SCHEMES, jobs=1)
+
+        reader = Runner(records=RECORDS, use_disk_cache=True)
+        # All pairs are disk hits; jobs=8 must not matter (and must not
+        # respawn workers — observable here only through equality).
+        warm = reader.sweep(self.WORKLOADS, self.SCHEMES, jobs=8)
+        for key in expected:
+            assert _scalars(warm[key]) == _scalars(expected[key])
+
+    def test_jobs_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        runner = Runner(records=RECORDS, use_disk_cache=False)
+        results = runner.sweep((WORKLOAD,), self.SCHEMES)
+        assert len(results) == 2
+
+    def test_bad_jobs_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        runner = Runner(records=RECORDS, use_disk_cache=False)
+        with pytest.raises(ValueError):
+            runner.sweep((WORKLOAD,), ("lru",))
