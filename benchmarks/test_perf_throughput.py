@@ -119,11 +119,19 @@ def test_parallel_sweep_scales(benchmark):
 
     def timed():
         serial = Runner(records=20_000, use_disk_cache=False)
+        parallel = Runner(records=20_000, use_disk_cache=False)
+        # Prewarm the shared one-time work (trace generation, frontend
+        # plans — memoised process-globally) for both runners before
+        # timing either sweep, so the measured ratio is parallelism,
+        # not whichever sweep happened to pay the warmup first.
+        for workload in SWEEP_WORKLOADS:
+            serial.context_for(workload)
+            parallel.context_for(workload)
+
         t0 = time.perf_counter()
         serial.sweep(SWEEP_WORKLOADS, SWEEP_SCHEMES, jobs=1)
         serial_secs = time.perf_counter() - t0
 
-        parallel = Runner(records=20_000, use_disk_cache=False)
         t0 = time.perf_counter()
         parallel.sweep(SWEEP_WORKLOADS, SWEEP_SCHEMES, jobs=4)
         parallel_secs = time.perf_counter() - t0

@@ -12,6 +12,10 @@ Runs the fixed (workload, scheme, records, seed) grid from
 the JSON snapshot at the repo root, and — when a previous snapshot on
 the same grid exists — prints the per-scheme speedup against it and
 whether the simulated scalars stayed bit-identical.
+
+``--check`` is the CI regression gate: it re-simulates the snapshot's
+own grid and exits non-zero on any scalar drift, without rewriting the
+snapshot (timing noise never fails the check; behaviour change does).
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.harness.throughput import (  # noqa: E402  (path bootstrap above)
     load_report,
     measure_grid,
     report_path,
+    verify_report,
     write_report,
 )
 
@@ -56,10 +61,26 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="measure and print only; leave the snapshot untouched",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-simulate the snapshot's grid and fail on scalar drift "
+        "without rewriting it (ignores the grid flags above)",
+    )
     args = parser.parse_args(argv)
 
     schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
     out_path = args.output or report_path()
+
+    if args.check:
+        problems = verify_report(out_path, repeats=1)
+        if problems:
+            for problem in problems:
+                print(f"DRIFT: {problem}", file=sys.stderr)
+            return 1
+        print(f"scalars bit-identical to snapshot {out_path}")
+        return 0
+
     previous = load_report(out_path)
 
     report = measure_grid(

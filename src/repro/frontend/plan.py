@@ -1,0 +1,550 @@
+"""Precomputed frontend plans: the scheme-independent half of a run.
+
+For a fixed (trace, frontend configuration) pair, everything the
+decoupled front end does is independent of the L1i scheme under test:
+
+* the branch stack's verdicts and training (BTB + TAGE state evolve
+  only with the trace's resolved transitions),
+* therefore the per-record mispredict flags the engine charges flush
+  penalties for,
+* and the FDP run-ahead frontier, which advances through *predictable*
+  transitions and stalls at mispredicted ones — the engine filters its
+  candidates against scheme/MSHR contents, but never feeds anything
+  back into the stack or the frontier.
+
+A figure sweep pushes ~120 (workload, scheme) pairs through
+``simulate``; without a plan each pair replays identical BTB/TAGE
+training and run-ahead walking.  A :class:`FrontendPlan` replays that
+work once per (trace, frontend config) and flattens the outcome into
+numpy arrays:
+
+* ``mispredict[i]``     — 1 when the transition into record ``i``
+  resolves as mispredicted (the engine charges the flush penalty);
+* ``cum_mispredict[i]`` — mispredicted transitions among records
+  ``< i`` (exclusive prefix sum, length n+1), so any warmup split can
+  be reported without re-walking;
+* ``cand_lo[i]/cand_hi[i]`` — the FDP candidate stream as half-open
+  record-index spans: the candidates offered while fetch sits at ``i``
+  are exactly ``trace.blocks[cand_lo[i]:cand_hi[i]]`` (run-ahead only
+  ever walks the future path, so one shared candidate-block array — the
+  trace's own ``blocks`` — backs every span);
+* branch-stack stats snapshots at warmup end and at trace end.
+
+The builder is event-driven: only records whose transition trains the
+predictor (conditional / call / indirect kinds) touch the Python
+BTB/TAGE machinery, in exactly the interleaving the live engine would
+produce (run-ahead queries evaluate verdicts *before* the training
+records between them retire — the memoisation the live stack performs).
+The sequential spans between those events — the vast majority of every
+trace — are filled with numpy arithmetic.
+
+Entangling prefetch cannot be planned: its table training consumes live
+fetch/miss cycle times, which depend on the scheme.  Those runs keep
+the live path.
+
+Plans are cached on disk as ``.npz`` beside the trace cache (see
+:func:`plan_cache_dir`), keyed by a frontend-only fingerprint: trace
+content digest, prefetcher kind, run-ahead depth, warmup split and the
+(fixed) BTB/TAGE geometry.  A sweep builds each workload's plan once in
+the parent process; workers load the ``.npz`` instead of redoing the
+frontend work per (workload, scheme) pair.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from collections import OrderedDict
+from dataclasses import dataclass
+from functools import cached_property
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.frontend.stack import BranchStack, BranchStackStats
+from repro.uarch.params import MachineParams
+from repro.workloads.trace import BranchKind, Trace
+
+#: Prefetchers whose engine interaction is scheme-independent and can
+#: therefore be precomputed ("entangling" trains on live miss timing).
+PLANNABLE_PREFETCHERS = ("fdp", "none")
+
+#: Bump when the array layout or replay semantics change; stale cache
+#: entries then miss on fingerprint and are rebuilt.
+PLAN_FORMAT = 1
+
+#: BranchStackStats fields, in snapshot-array order.
+STATS_FIELDS = (
+    "conditional_branches",
+    "conditional_correct",
+    "btb_transfers",
+    "btb_correct",
+    "mispredicted_transitions",
+)
+
+#: Lazily-computed description of the stack geometry
+#: :class:`BranchStack` is always built with (the harness never
+#: overrides it).  Derived from the live default structures so any
+#: future change to BTB/TAGE defaults re-keys the plan cache
+#: automatically instead of silently serving stale plans.
+_stack_geometry_cache: Optional[str] = None
+
+
+def _stack_geometry() -> str:
+    global _stack_geometry_cache
+    if _stack_geometry_cache is None:
+        from repro.frontend.branch_predictors import TagePredictor
+        from repro.frontend.btb import BranchTargetBuffer
+
+        btb = BranchTargetBuffer()
+        tage = TagePredictor()
+        _stack_geometry_cache = (
+            f"btb{btb.entries}x{btb.ways}"
+            f"+tage{tage.num_tables}x{tage.table_bits}t{tage.tag_bits}"
+            f"c{tage.counter_max}"
+            f"h{'-'.join(map(str, tage.history_lengths))}"
+            f"+base{tage.base.table_bits}c{tage.base.counter_max}"
+        )
+    return _stack_geometry_cache
+
+
+def plannable(prefetcher: str) -> bool:
+    """True when ``prefetcher`` runs can consume a precomputed plan."""
+    return prefetcher in PLANNABLE_PREFETCHERS
+
+
+@dataclass
+class FrontendPlan:
+    """Flat-array replay of the frontend for one (trace, config) pair."""
+
+    trace_name: str
+    trace_digest: str
+    prefetcher: str
+    depth: int
+    warmup_end: int
+    fingerprint: str
+    mispredict: np.ndarray      # uint8, n
+    cum_mispredict: np.ndarray  # int64, n + 1 (exclusive prefix sums)
+    cand_lo: np.ndarray         # int64, n (record-index span starts)
+    cand_hi: np.ndarray         # int64, n (half-open span ends)
+    warmup_stats: np.ndarray    # int64, len(STATS_FIELDS)
+    final_stats: np.ndarray     # int64, len(STATS_FIELDS)
+
+    def __len__(self) -> int:
+        return len(self.mispredict)
+
+    # -- hot-loop list views (one bulk conversion, as Trace does) -----------
+
+    @cached_property
+    def mispredict_list(self) -> List[int]:
+        return self.mispredict.tolist()
+
+    @cached_property
+    def cand_lo_list(self) -> List[int]:
+        return self.cand_lo.tolist()
+
+    @cached_property
+    def cand_hi_list(self) -> List[int]:
+        return self.cand_hi.tolist()
+
+    # -- derived views ------------------------------------------------------
+
+    def mispredicted_after_warmup(self) -> int:
+        """Post-warmup mispredicted transitions (what RunResult reports)."""
+        n = len(self)
+        return int(self.cum_mispredict[n] - self.cum_mispredict[self.warmup_end])
+
+    def _stats_of(self, values: np.ndarray) -> BranchStackStats:
+        return BranchStackStats(**{
+            name: int(v) for name, v in zip(STATS_FIELDS, values)
+        })
+
+    @property
+    def warmup_stack_stats(self) -> BranchStackStats:
+        return self._stats_of(self.warmup_stats)
+
+    @property
+    def final_stack_stats(self) -> BranchStackStats:
+        return self._stats_of(self.final_stats)
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so a concurrent reader (another sweep
+        # process warming the same workload) never loads a partial npz.
+        # The temp name keeps the .npz suffix: np.savez would otherwise
+        # append one and the rename source would not exist.
+        tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")
+        self._write(tmp)
+        os.replace(tmp, path)
+
+    def _write(self, path: Path) -> None:
+        np.savez_compressed(
+            path,
+            format=np.int64(PLAN_FORMAT),
+            trace_name=np.bytes_(self.trace_name.encode()),
+            trace_digest=np.bytes_(self.trace_digest.encode()),
+            prefetcher=np.bytes_(self.prefetcher.encode()),
+            depth=np.int64(self.depth),
+            warmup_end=np.int64(self.warmup_end),
+            fingerprint=np.bytes_(self.fingerprint.encode()),
+            mispredict=self.mispredict,
+            cum_mispredict=self.cum_mispredict,
+            cand_lo=self.cand_lo,
+            cand_hi=self.cand_hi,
+            warmup_stats=self.warmup_stats,
+            final_stats=self.final_stats,
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "FrontendPlan":
+        with np.load(path) as data:
+            if int(data["format"]) != PLAN_FORMAT:
+                raise ValueError(
+                    f"plan format {int(data['format'])} != {PLAN_FORMAT}"
+                )
+            return cls(
+                trace_name=bytes(data["trace_name"]).decode(),
+                trace_digest=bytes(data["trace_digest"]).decode(),
+                prefetcher=bytes(data["prefetcher"]).decode(),
+                depth=int(data["depth"]),
+                warmup_end=int(data["warmup_end"]),
+                fingerprint=bytes(data["fingerprint"]).decode(),
+                mispredict=data["mispredict"],
+                cum_mispredict=data["cum_mispredict"],
+                cand_lo=data["cand_lo"],
+                cand_hi=data["cand_hi"],
+                warmup_stats=data["warmup_stats"],
+                final_stats=data["final_stats"],
+            )
+
+
+# -- fingerprinting ------------------------------------------------------------
+
+
+def frontend_fingerprint(
+    trace: Trace, machine: MachineParams, prefetcher: str
+) -> str:
+    """Hash of everything the plan's content depends on — and nothing else.
+
+    Deliberately *frontend-only*: cache geometry, hierarchy latencies,
+    MSHR count and backend width don't appear, so one plan serves every
+    scheme (and machine variant that only changes the backend/caches) a
+    sweep throws at the workload.
+    """
+    if not plannable(prefetcher):
+        raise ValueError(
+            f"prefetcher {prefetcher!r} cannot be planned; "
+            f"plannable: {PLANNABLE_PREFETCHERS}"
+        )
+    blob = json.dumps(
+        {
+            "format": PLAN_FORMAT,
+            "trace": trace.digest,
+            "prefetcher": prefetcher,
+            "depth": machine.ftq_depth_records if prefetcher == "fdp" else 0,
+            "warmup_fraction": machine.warmup_fraction,
+            "stack": _stack_geometry(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha1(blob.encode()).hexdigest()[:12]
+
+
+def _snapshot(stats: BranchStackStats) -> np.ndarray:
+    return np.array(
+        [getattr(stats, name) for name in STATS_FIELDS], dtype=np.int64
+    )
+
+
+def _finish(
+    trace: Trace,
+    machine: MachineParams,
+    prefetcher: str,
+    depth: int,
+    warmup_end: int,
+    mispredict: np.ndarray,
+    cand_lo: np.ndarray,
+    cand_hi: np.ndarray,
+    warmup_stats: np.ndarray,
+    final_stats: np.ndarray,
+) -> FrontendPlan:
+    n = len(trace)
+    cum = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(mispredict, out=cum[1:])
+    return FrontendPlan(
+        trace_name=trace.name,
+        trace_digest=trace.digest,
+        prefetcher=prefetcher,
+        depth=depth,
+        warmup_end=warmup_end,
+        fingerprint=frontend_fingerprint(trace, machine, prefetcher),
+        mispredict=mispredict,
+        cum_mispredict=cum,
+        cand_lo=cand_lo,
+        cand_hi=cand_hi,
+        warmup_stats=warmup_stats,
+        final_stats=final_stats,
+    )
+
+
+# -- builders ------------------------------------------------------------------
+
+
+def build_plan_reference(
+    trace: Trace, machine: MachineParams, prefetcher: str = "fdp"
+) -> FrontendPlan:
+    """Naive per-record replay through the live stack/FDP objects.
+
+    The oracle the equivalence tests compare :func:`build_plan` against:
+    it drives a real :class:`BranchStack` and
+    :class:`~repro.frontend.fdp.FetchDirectedPrefetcher` exactly as the
+    live engine does, one record at a time.
+    """
+    from repro.frontend.fdp import FetchDirectedPrefetcher
+
+    if not plannable(prefetcher):
+        raise ValueError(f"prefetcher {prefetcher!r} cannot be planned")
+    n = len(trace)
+    warmup_end = int(n * machine.warmup_fraction)
+    depth = machine.ftq_depth_records if prefetcher == "fdp" else 0
+    stack = BranchStack(trace)
+    fdp = (
+        FetchDirectedPrefetcher(trace, stack, depth=depth)
+        if prefetcher == "fdp"
+        else None
+    )
+    kinds = trace.branch_kind_list
+    mispredict = np.zeros(n, dtype=np.uint8)
+    cand_lo = np.zeros(n, dtype=np.int64)
+    cand_hi = np.zeros(n, dtype=np.int64)
+    warm: Optional[np.ndarray] = None
+    for i in range(n):
+        if i == warmup_end:
+            warm = _snapshot(stack.stats)
+        if kinds[i] and stack.retire(i):
+            mispredict[i] = 1
+        if fdp is not None:
+            out = fdp.candidates(i)
+            if out:
+                cand_hi[i] = fdp._ra
+                cand_lo[i] = fdp._ra - len(out)
+    if warm is None:
+        warm = _snapshot(stack.stats)
+    return _finish(
+        trace, machine, prefetcher, depth, warmup_end,
+        mispredict, cand_lo, cand_hi, warm, _snapshot(stack.stats),
+    )
+
+
+def build_plan(
+    trace: Trace, machine: MachineParams, prefetcher: str = "fdp"
+) -> FrontendPlan:
+    """Vectorized replay: Python only at predictor-training records.
+
+    Transitions that train nothing (sequential flow and RAS-perfect
+    returns) are always predictable and never change BTB/TAGE state, so
+    the replay only steps the Python machinery at *training* records
+    (conditional / call / indirect kinds), preserving the live
+    interleaving of run-ahead verdict queries and retirement training.
+    The all-sequential stretches in between — where the run-ahead
+    frontier tracks ``i + depth`` with pure length-1 candidate spans, or
+    sits parked at a mispredicted record — are filled with numpy.
+    """
+    if not plannable(prefetcher):
+        raise ValueError(f"prefetcher {prefetcher!r} cannot be planned")
+    n = len(trace)
+    warmup_end = int(n * machine.warmup_fraction)
+    depth = machine.ftq_depth_records if prefetcher == "fdp" else 0
+    stack = BranchStack(trace)
+    kinds = trace.branch_kind
+    mispredict = np.zeros(n, dtype=np.uint8)
+    cand_lo = np.zeros(n, dtype=np.int64)
+    cand_hi = np.zeros(n, dtype=np.int64)
+
+    training = (kinds != BranchKind.SEQUENTIAL) & (kinds != BranchKind.RETURN)
+    events = np.nonzero(training)[0]
+    n_events = len(events)
+    retire = stack.retire
+    predictable = stack.predictable
+    warm: Optional[np.ndarray] = None
+
+    if prefetcher == "none":
+        # No run-ahead: verdicts are first evaluated at retirement.
+        for e in events.tolist():
+            if warm is None and e >= warmup_end:
+                warm = _snapshot(stack.stats)
+            if retire(e):
+                mispredict[e] = 1
+        if warm is None:
+            warm = _snapshot(stack.stats)
+        return _finish(
+            trace, machine, prefetcher, depth, warmup_end,
+            mispredict, cand_lo, cand_hi, warm, _snapshot(stack.stats),
+        )
+
+    events_list = events.tolist()
+    last = n - 1
+    ra = 1          # next record the run-ahead will examine
+    ev_idx = 0      # next training record awaiting retirement
+    i = 0
+
+    def advance_one(i: int, ra: int) -> Tuple[int, int, int, bool]:
+        """Frontier advance for one record; returns (ra, lo, hi, stalled).
+
+        Mirrors ``FetchDirectedPrefetcher.candidates`` exactly, but
+        jumps over non-training records (always predictable) with
+        searchsorted instead of walking them.
+        """
+        start = ra if ra > i else i + 1
+        limit = i + depth
+        if limit > last:
+            limit = last
+        if start > limit:
+            return start, 0, 0, False
+        p = start
+        stalled = False
+        while True:
+            k = int(np.searchsorted(events, p))
+            q = events_list[k] if k < n_events else n
+            if q > limit:
+                p = limit + 1
+                break
+            if predictable(q):
+                p = q + 1
+            else:
+                p = q
+                stalled = True
+                break
+        return p, start, p, stalled
+
+    while i < n:
+        next_ev = events_list[ev_idx] if ev_idx < n_events else n
+        if i == next_ev:
+            # Training record: retire (training the stack), then advance.
+            if warm is None and i >= warmup_end:
+                warm = _snapshot(stack.stats)
+            if retire(i):
+                mispredict[i] = 1
+            ev_idx += 1
+            ra, lo, hi, _ = advance_one(i, ra)
+            if hi > lo:
+                cand_lo[i] = lo
+                cand_hi[i] = hi
+            i += 1
+            continue
+
+        # All-sequential stretch [i, seg_end): no retirements, so stack
+        # state is frozen and the frontier dynamics are closed-form
+        # between verdict queries.
+        seg_end = next_ev if next_ev < n else n
+        while i < seg_end:
+            new_ra, lo, hi, stalled = advance_one(i, ra)
+            if hi > lo:
+                cand_lo[i] = lo
+                cand_hi[i] = hi
+            ra = new_ra
+            i += 1
+            if stalled:
+                # Parked at a mispredicted training record, which lies at
+                # or beyond seg_end: every span until then is empty.
+                i = seg_end
+                break
+            if i >= seg_end:
+                break
+            # Next training record at/after the frontier; until the
+            # window reaches it the frontier tracks i + depth exactly.
+            k = int(np.searchsorted(events, ra))
+            q = events_list[k] if k < n_events else n
+            j_end = seg_end if q >= n else min(seg_end, q - depth)
+            if j_end > i:
+                ks = np.arange(i, j_end, dtype=np.int64)
+                lo_arr = ks + depth
+                sel = lo_arr <= last
+                live_ks = ks[sel]
+                cand_lo[live_ks] = lo_arr[sel]
+                cand_hi[live_ks] = lo_arr[sel] + 1
+                tail = (j_end - 1) + depth
+                if tail > last:
+                    tail = last
+                if tail + 1 > ra:
+                    ra = tail + 1
+                i = j_end
+
+    if warm is None:
+        warm = _snapshot(stack.stats)
+    return _finish(
+        trace, machine, prefetcher, depth, warmup_end,
+        mispredict, cand_lo, cand_hi, warm, _snapshot(stack.stats),
+    )
+
+
+# -- caching -------------------------------------------------------------------
+
+
+def plan_cache_dir() -> Path:
+    """Directory for cached plans (override with REPRO_PLAN_CACHE)."""
+    env = os.environ.get("REPRO_PLAN_CACHE")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".cache" / "plans"
+
+
+def _plan_path(trace: Trace, fingerprint: str) -> Path:
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", trace.name)[:64]
+    return plan_cache_dir() / f"{safe}.{fingerprint}.npz"
+
+
+#: Small in-process memo (full-length plans are tens of MB; a sweep
+#: only ever needs a handful of workloads at once).
+_MEMO_CAP = 8
+_memo: "OrderedDict[str, FrontendPlan]" = OrderedDict()
+
+
+def clear_plan_memo() -> None:
+    """Drop the in-process plan memo (tests)."""
+    _memo.clear()
+
+
+def cached_plan(
+    trace: Trace,
+    machine: MachineParams,
+    prefetcher: str = "fdp",
+    use_disk: Optional[bool] = None,
+) -> FrontendPlan:
+    """Memoised + disk-cached plan for (trace, frontend config).
+
+    Lookup order: in-process memo, then the ``.npz`` cache (unless
+    disabled via ``use_disk=False`` or ``REPRO_NO_DISK_CACHE=1``), then
+    a fresh :func:`build_plan`.  Corrupt or stale entries (fingerprint
+    mismatch, e.g. after a PLAN_FORMAT bump or trace regeneration) are
+    unlinked and rebuilt, mirroring the trace cache's behaviour.
+    """
+    fingerprint = frontend_fingerprint(trace, machine, prefetcher)
+    plan = _memo.get(fingerprint)
+    if plan is not None:
+        _memo.move_to_end(fingerprint)
+        return plan
+    if use_disk is None:
+        use_disk = os.environ.get("REPRO_NO_DISK_CACHE", "") != "1"
+    path = _plan_path(trace, fingerprint)
+    if use_disk and path.exists():
+        try:
+            plan = FrontendPlan.load(path)
+            if plan.fingerprint != fingerprint or len(plan) != len(trace):
+                raise ValueError("stale plan cache entry")
+        except Exception:
+            path.unlink(missing_ok=True)  # corrupt/stale: rebuild
+            plan = None
+    if plan is None:
+        plan = build_plan(trace, machine, prefetcher)
+        if use_disk:
+            plan.save(path)
+    _memo[fingerprint] = plan
+    while len(_memo) > _MEMO_CAP:
+        _memo.popitem(last=False)
+    return plan

@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro.frontend.entangling import EntanglingPrefetcher
 from repro.frontend.fdp import FetchDirectedPrefetcher, NullPrefetcher
+from repro.frontend.plan import cached_plan, plannable
 from repro.frontend.stack import BranchStack
 from repro.harness.schemes import SchemeContext, make_scheme
 from repro.uarch.params import DEFAULT_MACHINE, MachineParams
@@ -20,6 +21,11 @@ from repro.workloads.profiles import get_workload
 from repro.workloads.trace import Trace
 
 PREFETCHERS = ("fdp", "entangling", "none")
+
+
+def _plans_enabled() -> bool:
+    """Plan-driven simulation is on unless REPRO_NO_PLAN=1 (debugging)."""
+    return os.environ.get("REPRO_NO_PLAN", "") != "1"
 
 
 def scaled_records(records: Optional[int] = None) -> int:
@@ -74,11 +80,20 @@ def run_experiment(
     records: Optional[int] = None,
     machine: Optional[MachineParams] = None,
     context: Optional[SchemeContext] = None,
+    use_plan: Optional[bool] = None,
 ) -> ExperimentResult:
     """Simulate ``scheme`` on ``workload`` and return the measurements.
 
     ``context`` lets callers share a trace/oracle across several runs
     (the sweep runner does); otherwise one is built from the profile.
+
+    Plannable prefetchers (fdp/none) run against a precomputed, cached
+    :class:`~repro.frontend.plan.FrontendPlan` — the scheme-independent
+    frontend work is done once per (workload, frontend config) and
+    shared by every scheme; the result is bit-identical to the live
+    path.  ``use_plan=False`` (or ``REPRO_NO_PLAN=1``) forces the live
+    stack/prefetcher path; entangling always runs live, since its table
+    training consumes scheme-dependent miss timing.
     """
     machine = machine or DEFAULT_MACHINE
     records = scaled_records(records)
@@ -86,10 +101,16 @@ def run_experiment(
         trace = get_workload(workload).trace(records=records)
         context = SchemeContext(trace=trace, machine=machine)
     trace = context.trace
-    stack = BranchStack(trace)
     scheme_obj = make_scheme(scheme, context)
-    prefetcher_obj = build_prefetcher(prefetcher, trace, stack, machine)
-    run = simulate(trace, scheme_obj, prefetcher_obj, stack, machine)
+    if use_plan is None:
+        use_plan = _plans_enabled()
+    if use_plan and plannable(prefetcher):
+        plan = cached_plan(trace, machine, prefetcher)
+        run = simulate(trace, scheme_obj, machine=machine, plan=plan)
+    else:
+        stack = BranchStack(trace)
+        prefetcher_obj = build_prefetcher(prefetcher, trace, stack, machine)
+        run = simulate(trace, scheme_obj, prefetcher_obj, stack, machine)
     run.workload = workload
     return ExperimentResult(
         run=run,

@@ -28,7 +28,8 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.harness.experiment import run_experiment, scaled_records
+from repro.frontend.plan import cached_plan, plannable
+from repro.harness.experiment import _plans_enabled, run_experiment, scaled_records
 from repro.harness.schemes import SchemeContext
 from repro.uarch.params import DEFAULT_MACHINE, MachineParams
 from repro.uarch.timing import RunResult
@@ -122,13 +123,19 @@ class Runner:
 
     def _load_disk(self, workload: str, scheme: str) -> Optional[RunResult]:
         path = self._disk_path(workload, scheme)
-        if not path.exists():
-            return None
         try:
             payload = json.loads(path.read_text())
             return RunResult(
                 **{k: payload[k] for k in _SCALAR_FIELDS}
             )
+        except FileNotFoundError:
+            # Plain cache miss (or another worker won an unlink race).
+            return None
+        except OSError:
+            # Concurrent sweep workers can catch an entry mid-write or
+            # mid-unlink; treat any unreadable file as a miss without
+            # destroying what the writer may still be producing.
+            return None
         except (json.JSONDecodeError, KeyError, TypeError):
             path.unlink(missing_ok=True)
             return None
@@ -137,7 +144,11 @@ class Runner:
         path = self._disk_path(workload, scheme)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {k: getattr(run, k) for k in _SCALAR_FIELDS}
-        path.write_text(json.dumps(payload))
+        # Write-then-rename so concurrent readers never observe a
+        # partial entry (and never mistake one for corruption).
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
 
     def _cached(
         self, workload: str, scheme: str, *, allow_disk: bool = True
@@ -160,11 +171,19 @@ class Runner:
             self._store_disk(workload, scheme, result)
 
     def context_for(self, workload: str) -> SchemeContext:
-        """Shared trace/oracle context per workload."""
+        """Shared trace/oracle context per workload.
+
+        Building a context also prewarms the workload's frontend plan
+        (memo + ``.npz`` cache), so every scheme simulated against this
+        workload — in this process or in sweep workers — shares one
+        branch-stack/FDP replay instead of redoing it per pair.
+        """
         ctx = self._contexts.get(workload)
         if ctx is None:
             trace = get_workload(workload).trace(records=self.records)
             ctx = SchemeContext(trace=trace, machine=self.machine)
+            if _plans_enabled() and plannable(self.prefetcher):
+                cached_plan(trace, self.machine, self.prefetcher)
             self._contexts[workload] = ctx
         return ctx
 
@@ -240,9 +259,10 @@ class Runner:
             if self._cached(w, s) is None
         ]
         if jobs > 1 and len(pending) > 1:
-            # Build (and disk-cache) each pending workload's trace in the
-            # parent first: workers then load the .npz instead of racing
-            # to regenerate the same trace N times.
+            # Build (and disk-cache) each pending workload's trace and
+            # frontend plan in the parent first: workers then load the
+            # .npz files instead of racing to redo the same trace
+            # generation and branch-stack/FDP replay N times.
             for workload in sorted({w for w, _ in pending}):
                 self.context_for(workload)
             payloads = [

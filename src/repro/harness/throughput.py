@@ -11,7 +11,14 @@ The measurement is deliberately simple — best-of-N wall-clock of a
 fresh, uncached simulation — because the quantity tracked is the
 engine's single-run throughput, not cache behaviour.  The per-scheme
 ``scalars`` in the report double as a regression oracle: an engine
-change that alters them changed simulated behaviour, not just speed.
+change that alters them changed simulated behaviour, not just speed
+(``scripts/bench_throughput.py --check`` re-simulates the grid and
+fails on any drift without touching the snapshot).
+
+Plannable prefetchers are measured the way sweeps now run them: the
+workload's :class:`~repro.frontend.plan.FrontendPlan` is built once per
+grid (its one-off cost is reported as ``plan_seconds``) and every
+scheme's timed region is the plan-driven ``simulate`` alone.
 """
 
 from __future__ import annotations
@@ -21,8 +28,9 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
+from repro.frontend.plan import FrontendPlan, build_plan, plannable
 from repro.frontend.stack import BranchStack
 from repro.harness.experiment import build_prefetcher
 from repro.harness.schemes import SchemeContext, make_scheme
@@ -67,24 +75,34 @@ def measure_scheme(
     prefetcher: str = "fdp",
     machine: Optional[MachineParams] = None,
     repeats: int = 3,
+    plan: Optional[FrontendPlan] = None,
 ) -> ThroughputSample:
     """Time ``repeats`` fresh simulations of ``scheme_name``; keep the best.
 
-    Every repeat rebuilds the scheme/stack/prefetcher so no state leaks
-    between rounds and the measured cost is a true cold single run.
+    Every repeat rebuilds the scheme so no state leaks between rounds
+    and the measured cost is a true cold single run.  For plannable
+    prefetchers the run is plan-driven — the frontend replay is built
+    once (pass ``plan`` to share it across a grid, the way sweeps share
+    it across schemes) and sits outside the timed region.
     """
     if repeats <= 0:
         raise ValueError(f"repeats must be positive, got {repeats}")
     machine = machine or DEFAULT_MACHINE
+    if plan is None and plannable(prefetcher):
+        plan = build_plan(trace, machine, prefetcher)
     best = None
     result = None
     ctx = SchemeContext(trace=trace, machine=machine)
     for _ in range(repeats):
         scheme = make_scheme(scheme_name, ctx)
-        stack = BranchStack(trace)
-        pf = build_prefetcher(prefetcher, trace, stack, machine)
-        start = time.perf_counter()
-        result = simulate(trace, scheme, pf, stack, machine)
+        if plan is not None:
+            start = time.perf_counter()
+            result = simulate(trace, scheme, machine=machine, plan=plan)
+        else:
+            stack = BranchStack(trace)
+            pf = build_prefetcher(prefetcher, trace, stack, machine)
+            start = time.perf_counter()
+            result = simulate(trace, scheme, pf, stack, machine)
         elapsed = time.perf_counter() - start
         if best is None or elapsed < best:
             best = elapsed
@@ -107,8 +125,16 @@ def measure_grid(
 ) -> Dict[str, object]:
     """Measure every scheme on the fixed grid; returns the report dict."""
     trace = get_workload(workload).trace(records=records)
+    plan = None
+    plan_seconds = 0.0
+    if plannable(prefetcher):
+        start = time.perf_counter()
+        plan = build_plan(trace, DEFAULT_MACHINE, prefetcher)
+        plan_seconds = time.perf_counter() - start
     samples = {
-        name: measure_scheme(trace, name, prefetcher=prefetcher, repeats=repeats)
+        name: measure_scheme(
+            trace, name, prefetcher=prefetcher, repeats=repeats, plan=plan
+        )
         for name in schemes
     }
     return {
@@ -117,6 +143,7 @@ def measure_grid(
         "seed": trace.seed,
         "prefetcher": prefetcher,
         "repeats": repeats,
+        "plan_seconds": round(plan_seconds, 6),
         "python": sys.version.split()[0],
         "schemes": {
             name: {
@@ -178,3 +205,39 @@ def compare_reports(
             "scalars_identical": entry["scalars"] == before["scalars"],
         }
     return out
+
+
+def verify_report(
+    path: Optional[Path] = None, repeats: int = 1
+) -> List[str]:
+    """Re-simulate the snapshot's grid and report scalar drift.
+
+    Returns a list of problems (empty = every scheme still produces
+    bit-identical scalars).  The snapshot is never rewritten — this is
+    the read-only regression gate behind
+    ``scripts/bench_throughput.py --check`` and CI.  ``repeats`` only
+    affects timing quality, never the scalars, so 1 is enough.
+    """
+    old = load_report(path)
+    if old is None:
+        return [f"no readable snapshot at {path or report_path()}"]
+    new = measure_grid(
+        workload=old["workload"],
+        schemes=list(old["schemes"]),
+        records=old["records"],
+        prefetcher=old["prefetcher"],
+        repeats=repeats,
+    )
+    problems: List[str] = []
+    for name, entry in old["schemes"].items():
+        got = new["schemes"][name]["scalars"]
+        want = entry["scalars"]
+        if got != want:
+            drifted = sorted(
+                k for k in set(want) | set(got) if want.get(k) != got.get(k)
+            )
+            detail = ", ".join(
+                f"{k}: {want.get(k)} -> {got.get(k)}" for k in drifted
+            )
+            problems.append(f"{name}: scalar drift ({detail})")
+    return problems

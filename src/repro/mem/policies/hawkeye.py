@@ -14,7 +14,7 @@ Table IV configuration: 64-entry occupancy vectors, 8K-entry predictor,
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Iterable, Tuple
+from typing import Dict, Optional, Iterable
 
 from repro.common.bitops import fold_hash, mask
 from repro.mem.policies.base import ReplacementPolicy
@@ -75,16 +75,31 @@ class HawkeyePolicy(ReplacementPolicy):
         self.predictor = [self.counter_mid] * (1 << predictor_bits)
         self.rrip_max = mask(rrip_bits)
         self._optgen: Dict[int, _OPTgen] = {}
-        # Per-set sampler: block -> (last access quantum, signature).
-        self._history: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        # Per-set sampler: block -> last access quantum and signature,
+        # packed into one int (``quantum << predictor_bits | sig``) so
+        # the hot _observe path updates a flat int-keyed/int-valued dict
+        # instead of allocating a tuple per access.
+        self._history: Dict[int, Dict[int, int]] = {}
         # Per-set RRIP values: set_index -> {block: rrpv}.
         self._rrpv: Dict[int, Dict[int, int]] = {}
         self._sig_of_line: Dict[int, int] = {}
+        # Signature memo: fold_hash is pure and the instruction stream
+        # revisits the same blocks constantly, so hash each block once.
+        self._sig_memo: Dict[int, int] = {}
 
     # -- predictor ---------------------------------------------------------
 
+    #: Memo growth guard; recomputation is pure, clearing is invisible.
+    _MEMO_CAP = 1 << 20
+
     def _signature(self, block: int) -> int:
-        return fold_hash(block, self.predictor_bits)
+        sig = self._sig_memo.get(block)
+        if sig is None:
+            sig = fold_hash(block, self.predictor_bits)
+            if len(self._sig_memo) >= self._MEMO_CAP:
+                self._sig_memo.clear()
+            self._sig_memo[block] = sig
+        return sig
 
     def _is_friendly(self, sig: int) -> bool:
         return self.predictor[sig] >= self.counter_mid
@@ -113,19 +128,22 @@ class HawkeyePolicy(ReplacementPolicy):
             self._optgen[set_index] = optgen
             self._history[set_index] = {}
         history = self._history[set_index]
+        sig_bits = self.predictor_bits
 
         previous = history.pop(block, None)
         if previous is not None:
-            last_time, last_sig = previous
+            last_time = previous >> sig_bits
+            last_sig = previous & ((1 << sig_bits) - 1)
             self._train(last_sig, optgen.opt_would_hit(last_time))
         now = optgen.advance()
-        history[block] = (now, self._signature(block))
+        history[block] = (now << sig_bits) | self._signature(block)
         # Bound the sampler: entries older than the occupancy window can
         # never produce an OPT hit, so drop them once enough accumulate
         # (insertion order approximates age order).
         if len(history) > 8 * self.vector_entries:
-            horizon = now - optgen.window
-            for b in [b for b, (ts, _) in history.items() if ts <= horizon]:
+            # ts <= now - window  <=>  packed < (now - window + 1) << bits
+            horizon = (now - optgen.window + 1) << sig_bits
+            for b in [b for b, packed in history.items() if packed < horizon]:
                 del history[b]
 
     # -- ReplacementPolicy interface ----------------------------------------
@@ -185,3 +203,4 @@ class HawkeyePolicy(ReplacementPolicy):
         self._history.clear()
         self._rrpv.clear()
         self._sig_of_line.clear()
+        self._sig_memo.clear()

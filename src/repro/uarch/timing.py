@@ -17,13 +17,16 @@ from reported numbers (Section IV-A).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Protocol
+from typing import TYPE_CHECKING, Optional, Protocol
 
 from repro.frontend.stack import BranchStack
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.mshr import MSHRFile
 from repro.uarch.params import MachineParams
 from repro.workloads.trace import Trace
+
+if TYPE_CHECKING:  # avoid an import cycle at runtime
+    from repro.frontend.plan import FrontendPlan
 
 
 class L1IScheme(Protocol):
@@ -99,12 +102,24 @@ class RunResult:
 def simulate(
     trace: Trace,
     scheme: L1IScheme,
-    prefetcher: Prefetcher,
-    stack: BranchStack,
-    machine: MachineParams,
+    prefetcher: Optional[Prefetcher] = None,
+    stack: Optional[BranchStack] = None,
+    machine: Optional[MachineParams] = None,
     hierarchy: Optional[MemoryHierarchy] = None,
+    plan: Optional["FrontendPlan"] = None,
 ) -> RunResult:
     """Run ``scheme`` over ``trace`` and return post-warmup measurements.
+
+    Two frontend modes, bit-identical by construction (and pinned by
+    ``tests/test_frontend_plan.py``):
+
+    * **live** — ``prefetcher`` and ``stack`` drive branch training and
+      the prefetch candidate stream per record (required for
+      entangling, whose table training consumes live miss timing);
+    * **planned** — ``plan`` is a precomputed
+      :class:`~repro.frontend.plan.FrontendPlan` and the engine reads
+      mispredict flags and candidate spans from flat arrays, touching
+      no branch-stack or prefetcher code at all.
 
     The loop body runs once per fetch record — two million times for a
     full-length sweep pair — so everything invariant is hoisted out of
@@ -116,6 +131,19 @@ def simulate(
     file's running *next-ready cycle* instead of probing its occupancy
     every record.
     """
+    if machine is None:
+        raise TypeError("simulate() requires machine parameters")
+    if plan is not None:
+        if prefetcher is not None or stack is not None:
+            raise ValueError(
+                "pass either a precomputed plan or a live prefetcher/stack, "
+                "not both"
+            )
+        return _simulate_planned(trace, scheme, machine, hierarchy, plan)
+    if prefetcher is None or stack is None:
+        raise TypeError(
+            "simulate() needs a prefetcher and a stack when no plan is given"
+        )
     hierarchy = hierarchy or MemoryHierarchy(machine.hierarchy)
     mshr = MSHRFile(machine.mshr_entries)
 
@@ -243,5 +271,149 @@ def simulate(
         mispredicted_transitions=(
             stack.stats.mispredicted_transitions - base_mispred
         ),
+        scheme=scheme,
+    )
+
+
+def _simulate_planned(
+    trace: Trace,
+    scheme: L1IScheme,
+    machine: MachineParams,
+    hierarchy: Optional[MemoryHierarchy],
+    plan: "FrontendPlan",
+) -> RunResult:
+    """The planned twin of the live loop in :func:`simulate`.
+
+    Branch flushes come from ``plan.mispredict`` and the prefetch
+    candidate stream from ``plan.cand_lo/cand_hi`` spans over the
+    trace's own blocks array; the fdp/none prefetchers' fetch/miss
+    observers are no-ops, so no per-record frontend calls remain.  Any
+    change here must keep the scalars bit-identical to the live path
+    (``tests/test_frontend_plan.py`` pins this across schemes, branch
+    kinds and workload profiles).
+    """
+    n = len(trace)
+    if len(plan) != n:
+        raise ValueError(
+            f"plan covers {len(plan)} records, trace has {n}; "
+            "was the plan built for a different trace?"
+        )
+    warmup_end = int(n * machine.warmup_fraction)
+    if warmup_end != plan.warmup_end:
+        raise ValueError(
+            f"plan warmup split {plan.warmup_end} != machine's {warmup_end}; "
+            "rebuild the plan for this machine configuration"
+        )
+    hierarchy = hierarchy or MemoryHierarchy(machine.hierarchy)
+    mshr = MSHRFile(machine.mshr_entries)
+
+    blocks = trace.blocks_list
+    instr_counts = trace.instrs_list
+    mispredict = plan.mispredict_list
+    cand_lo = plan.cand_lo_list
+    cand_hi = plan.cand_hi_list
+
+    backend_ipc = machine.backend_ipc
+    queue_cap = float(machine.decode_queue_instrs)
+    penalty = machine.branch_mispredict_penalty
+
+    scheme_lookup = scheme.lookup
+    scheme_fill = scheme.fill
+    scheme_prefetch_fill = scheme.prefetch_fill
+    scheme_contains = scheme.contains
+    hierarchy_access = hierarchy.access
+    mshr_drain = mshr.drain
+    mshr_ready_cycle = mshr.ready_cycle
+    mshr_cancel = mshr.cancel
+    mshr_allocate = mshr.allocate
+    mshr_contains = mshr.__contains__
+
+    cycles = 0.0
+    queue = 0.0
+    demand_misses = 0
+    late_prefetch = 0
+    prefetches_issued = 0
+    instructions = 0
+    next_ready = mshr.next_ready
+
+    base_cycles = 0.0
+    base_misses = 0
+    base_late = 0
+    base_issued = 0
+    base_instr = 0
+
+    for i in range(n):
+        if i == warmup_end:
+            base_cycles = cycles
+            base_misses = demand_misses
+            base_late = late_prefetch
+            base_issued = prefetches_issued
+            base_instr = instructions
+
+        block = blocks[i]
+        n_instr = instr_counts[i]
+        instructions += n_instr
+
+        if mispredict[i]:
+            cycles += penalty
+
+        cycles += 1.0
+        queue += n_instr - backend_ipc
+        if queue > queue_cap:
+            cycles += (queue - queue_cap) / backend_ipc
+            queue = queue_cap
+        elif queue < 0.0:
+            queue = 0.0
+
+        icycles = int(cycles)
+
+        if next_ready <= cycles:
+            for done in mshr_drain(cycles):
+                scheme_prefetch_fill(done, i, icycles)
+            next_ready = mshr.next_ready
+
+        if not scheme_lookup(block, i, icycles):
+            demand_misses += 1
+            ready = mshr_ready_cycle(block)
+            if ready is not None:
+                mshr_cancel(block)
+                latency = ready - cycles
+                if latency < 0.0:
+                    latency = 0.0
+                late_prefetch += 1
+            else:
+                latency = float(hierarchy_access(block, i))
+            stall = latency - queue / backend_ipc
+            if stall > 0.0:
+                cycles += stall
+            queue -= latency * backend_ipc
+            if queue < 0.0:
+                queue = 0.0
+            icycles = int(cycles)
+            scheme_fill(block, i, icycles)
+
+        lo = cand_lo[i]
+        hi = cand_hi[i]
+        if lo < hi:
+            for candidate in blocks[lo:hi]:
+                if mshr_contains(candidate) or scheme_contains(candidate):
+                    continue
+                latency = float(hierarchy_access(candidate, i))
+                ready = mshr_allocate(candidate, cycles + latency, cycles)
+                if ready < next_ready:
+                    next_ready = ready
+                prefetches_issued += 1
+
+    return RunResult(
+        workload=trace.name,
+        scheme_name=scheme.name,
+        prefetcher_name=plan.prefetcher,
+        instructions=instructions - base_instr,
+        accesses=n - warmup_end,
+        cycles=cycles - base_cycles,
+        demand_misses=demand_misses - base_misses,
+        late_prefetch_misses=late_prefetch - base_late,
+        prefetches_issued=prefetches_issued - base_issued,
+        mispredicted_transitions=plan.mispredicted_after_warmup(),
         scheme=scheme,
     )

@@ -19,6 +19,7 @@ runs do not regenerate them.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass
 from functools import cached_property
@@ -87,6 +88,21 @@ class Trace:
     @cached_property
     def branch_site_list(self) -> List[int]:
         return self.branch_site.tolist()
+
+    @cached_property
+    def digest(self) -> str:
+        """Content hash of the trace arrays (plus name and seed).
+
+        Derived-data caches (e.g. frontend plans) key on this rather
+        than on (name, records, seed) alone, so ad-hoc traces that reuse
+        a name can never alias each other's cache entries.
+        """
+        h = hashlib.sha1()
+        h.update(self.name.encode())
+        h.update(str(self.seed).encode())
+        for array in (self.blocks, self.instrs, self.branch_kind, self.branch_site):
+            h.update(np.ascontiguousarray(array).tobytes())
+        return h.hexdigest()
 
     @property
     def total_instructions(self) -> int:

@@ -1,0 +1,394 @@
+"""Frontend-plan equivalence and cache tests.
+
+The plan layer promises one thing above all: a plan-driven
+``simulate`` is *bit-identical* to the live stack/FDP path — same
+scalars, same verdicts, same candidate stream — for every scheme,
+every branch kind and every workload profile.  These tests pin that
+promise (property-style, over randomized traces), pin the vectorized
+builder against the naive per-record reference replay, and pin the
+disk-cache failure paths (corrupt and stale ``.npz`` entries), the
+plan analogue of ``tests/test_runner_cache.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend.fdp import NullPrefetcher
+from repro.frontend.plan import (
+    PLAN_FORMAT,
+    FrontendPlan,
+    build_plan,
+    build_plan_reference,
+    cached_plan,
+    clear_plan_memo,
+    frontend_fingerprint,
+    plannable,
+)
+from repro.frontend.stack import BranchStack
+from repro.harness.experiment import build_prefetcher, run_experiment
+from repro.harness.schemes import SchemeContext, available_schemes, make_scheme
+from repro.uarch.params import DEFAULT_MACHINE, MachineParams
+from repro.uarch.timing import simulate
+from repro.workloads.profiles import ALL_WORKLOADS, get_workload
+from repro.workloads.trace import BranchKind, Trace, validate_trace
+
+SCALARS = (
+    "instructions",
+    "accesses",
+    "cycles",
+    "demand_misses",
+    "late_prefetch_misses",
+    "prefetches_issued",
+    "mispredicted_transitions",
+)
+
+PLAN_ARRAYS = (
+    "mispredict",
+    "cum_mispredict",
+    "cand_lo",
+    "cand_hi",
+    "warmup_stats",
+    "final_stats",
+)
+
+
+def _scalars(result):
+    return {k: getattr(result, k) for k in SCALARS}
+
+
+def random_trace(seed: int, n: int = 3000, nonseq_prob: float = 0.25) -> Trace:
+    """A randomized trace exercising every BranchKind.
+
+    Branch sites are drawn from a small pool so the BTB sees aliasing
+    and retraining; a few sites are reused for both calls and indirect
+    jumps, the hardest case for verdict memoisation.
+    """
+    rng = np.random.RandomState(seed)
+    kinds_pool = np.array(
+        [
+            BranchKind.SEQUENTIAL,
+            BranchKind.COND_TAKEN,
+            BranchKind.COND_NOT_TAKEN,
+            BranchKind.CALL,
+            BranchKind.RETURN,
+            BranchKind.INDIRECT,
+        ],
+        dtype=np.uint8,
+    )
+    seq_prob = 1.0 - nonseq_prob
+    probs = [seq_prob] + [nonseq_prob / 5.0] * 5
+    kinds = rng.choice(kinds_pool, size=n, p=probs)
+    blocks = rng.randint(0, 400, size=n).astype(np.int64)
+    sites = np.where(
+        kinds == BranchKind.SEQUENTIAL,
+        np.int64(-1),
+        rng.randint(0, 60, size=n).astype(np.int64),
+    )
+    instrs = rng.randint(1, 17, size=n).astype(np.uint8)
+    trace = Trace(
+        name=f"rand{seed}-{n}-{nonseq_prob}",
+        blocks=blocks,
+        instrs=instrs,
+        branch_kind=kinds,
+        branch_site=sites,
+        seed=seed,
+    )
+    assert validate_trace(trace) == []
+    return trace
+
+
+def live_run(trace, scheme_name, prefetcher, machine=DEFAULT_MACHINE):
+    stack = BranchStack(trace)
+    pf = build_prefetcher(prefetcher, trace, stack, machine)
+    scheme = make_scheme(scheme_name, SchemeContext(trace=trace, machine=machine))
+    return simulate(trace, scheme, pf, stack, machine), stack
+
+
+def planned_run(trace, scheme_name, prefetcher, machine=DEFAULT_MACHINE):
+    plan = build_plan(trace, machine, prefetcher)
+    scheme = make_scheme(scheme_name, SchemeContext(trace=trace, machine=machine))
+    return simulate(trace, scheme, machine=machine, plan=plan), plan
+
+
+class TestBuilderEquivalence:
+    """The vectorized builder reproduces the naive replay exactly."""
+
+    @pytest.mark.parametrize("prefetcher", ["fdp", "none"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_randomized_traces(self, seed, prefetcher):
+        trace = random_trace(seed)
+        ref = build_plan_reference(trace, DEFAULT_MACHINE, prefetcher)
+        fast = build_plan(trace, DEFAULT_MACHINE, prefetcher)
+        for name in PLAN_ARRAYS:
+            assert np.array_equal(getattr(ref, name), getattr(fast, name)), name
+
+    @pytest.mark.parametrize(
+        "nonseq_prob", [0.0, 0.05, 0.6, 1.0], ids=lambda p: f"nonseq{p}"
+    )
+    def test_branch_density_extremes(self, nonseq_prob):
+        trace = random_trace(7, n=1500, nonseq_prob=nonseq_prob)
+        ref = build_plan_reference(trace, DEFAULT_MACHINE, "fdp")
+        fast = build_plan(trace, DEFAULT_MACHINE, "fdp")
+        for name in PLAN_ARRAYS:
+            assert np.array_equal(getattr(ref, name), getattr(fast, name)), name
+
+    @pytest.mark.parametrize("n", [1, 2, 39, 40, 41, 200])
+    def test_tiny_traces_around_runahead_depth(self, n):
+        trace = random_trace(11, n=n)
+        ref = build_plan_reference(trace, DEFAULT_MACHINE, "fdp")
+        fast = build_plan(trace, DEFAULT_MACHINE, "fdp")
+        for name in PLAN_ARRAYS:
+            assert np.array_equal(getattr(ref, name), getattr(fast, name)), name
+
+    @pytest.mark.parametrize("depth", [1, 2, 7, 64, 5000])
+    def test_runahead_depth_variants(self, depth):
+        """Small and huge FTQ depths stress the bulk-fill boundaries."""
+        machine = MachineParams(ftq_depth_records=depth)
+        trace = random_trace(13, n=2000)
+        ref = build_plan_reference(trace, machine, "fdp")
+        fast = build_plan(trace, machine, "fdp")
+        for name in PLAN_ARRAYS:
+            assert np.array_equal(getattr(ref, name), getattr(fast, name)), name
+        live, _ = live_run(trace, "lru", "fdp", machine)
+        planned, _ = planned_run(trace, "lru", "fdp", machine)
+        assert _scalars(planned) == _scalars(live)
+
+    def test_single_kind_traces(self):
+        """Every branch kind, in isolation, round-trips the builders."""
+        for kind in BranchKind.ALL:
+            n = 400
+            rng = np.random.RandomState(kind)
+            kinds = np.full(n, kind, dtype=np.uint8)
+            kinds[0] = BranchKind.SEQUENTIAL  # record 0 has no transition
+            sites = np.where(
+                kinds == BranchKind.SEQUENTIAL,
+                np.int64(-1),
+                rng.randint(0, 16, size=n).astype(np.int64),
+            )
+            trace = Trace(
+                name=f"kind{kind}",
+                blocks=rng.randint(0, 64, size=n).astype(np.int64),
+                instrs=np.full(n, 6, dtype=np.uint8),
+                branch_kind=kinds,
+                branch_site=sites,
+            )
+            ref = build_plan_reference(trace, DEFAULT_MACHINE, "fdp")
+            fast = build_plan(trace, DEFAULT_MACHINE, "fdp")
+            for name in PLAN_ARRAYS:
+                assert np.array_equal(
+                    getattr(ref, name), getattr(fast, name)
+                ), (kind, name)
+
+
+class TestPlannedSimulateEquivalence:
+    """Plan-driven simulate == live simulate, record for record."""
+
+    @pytest.mark.parametrize("prefetcher", ["fdp", "none"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_traces(self, seed, prefetcher):
+        trace = random_trace(seed)
+        live, stack = live_run(trace, "acic", prefetcher)
+        planned, plan = planned_run(trace, "acic", prefetcher)
+        assert _scalars(planned) == _scalars(live)
+        # The plan's final stats snapshot matches the live stack's.
+        assert plan.final_stack_stats == stack.stats
+        assert planned.prefetcher_name == prefetcher
+
+    @pytest.mark.parametrize("workload", sorted(ALL_WORKLOADS))
+    def test_all_workload_profiles(self, workload):
+        trace = get_workload(workload).trace(records=3000)
+        live, _ = live_run(trace, "lru", "fdp")
+        planned, _ = planned_run(trace, "lru", "fdp")
+        assert _scalars(planned) == _scalars(live)
+
+    def test_all_registered_schemes_on_20k_grid(self):
+        """Acceptance gate: every registered scheme, one 20k grid.
+
+        One plan (built once, as sweeps share it) against a fresh live
+        stack/FDP per scheme; every RunResult scalar must match bit for
+        bit.
+        """
+        trace = get_workload("media-streaming").trace(records=20_000)
+        plan = build_plan(trace, DEFAULT_MACHINE, "fdp")
+        for scheme_name in sorted(available_schemes()):
+            stack = BranchStack(trace)
+            pf = build_prefetcher("fdp", trace, stack, DEFAULT_MACHINE)
+            live = simulate(
+                trace,
+                make_scheme(scheme_name, SchemeContext(trace=trace)),
+                pf,
+                stack,
+                DEFAULT_MACHINE,
+            )
+            planned = simulate(
+                trace,
+                make_scheme(scheme_name, SchemeContext(trace=trace)),
+                machine=DEFAULT_MACHINE,
+                plan=plan,
+            )
+            assert _scalars(planned) == _scalars(live), scheme_name
+
+    def test_run_experiment_plan_matches_live(self):
+        live = run_experiment("x264", "acic", records=4000, use_plan=False)
+        planned = run_experiment("x264", "acic", records=4000, use_plan=True)
+        assert _scalars(planned.run) == _scalars(live.run)
+
+    def test_entangling_always_runs_live(self):
+        assert not plannable("entangling")
+        result = run_experiment(
+            "x264", "lru", prefetcher="entangling", records=2000, use_plan=True
+        )
+        assert result.run.prefetcher_name == "entangling"
+
+    def test_warmup_split_honoured(self):
+        trace = random_trace(5, n=1000)
+        machine = MachineParams(warmup_fraction=0.5)
+        live, _ = live_run(trace, "lru", "fdp", machine)
+        planned, plan = planned_run(trace, "lru", "fdp", machine)
+        assert plan.warmup_end == 500
+        assert _scalars(planned) == _scalars(live)
+        assert (
+            planned.mispredicted_transitions == plan.mispredicted_after_warmup()
+        )
+
+
+class TestSimulateArgumentValidation:
+    def test_plan_and_live_frontend_are_exclusive(self):
+        trace = random_trace(0, n=200)
+        plan = build_plan(trace, DEFAULT_MACHINE, "fdp")
+        stack = BranchStack(trace)
+        scheme = make_scheme("lru", SchemeContext(trace=trace))
+        with pytest.raises(ValueError, match="not both"):
+            simulate(
+                trace, scheme, NullPrefetcher(trace), stack,
+                DEFAULT_MACHINE, plan=plan,
+            )
+
+    def test_missing_frontend_raises(self):
+        trace = random_trace(0, n=200)
+        scheme = make_scheme("lru", SchemeContext(trace=trace))
+        with pytest.raises(TypeError, match="prefetcher and a stack"):
+            simulate(trace, scheme, machine=DEFAULT_MACHINE)
+
+    def test_wrong_length_plan_rejected(self):
+        trace = random_trace(0, n=200)
+        plan = build_plan(trace.slice(0, 100), DEFAULT_MACHINE, "fdp")
+        scheme = make_scheme("lru", SchemeContext(trace=trace))
+        with pytest.raises(ValueError, match="different trace"):
+            simulate(trace, scheme, machine=DEFAULT_MACHINE, plan=plan)
+
+    def test_wrong_warmup_plan_rejected(self):
+        trace = random_trace(0, n=200)
+        plan = build_plan(trace, MachineParams(warmup_fraction=0.5), "fdp")
+        scheme = make_scheme("lru", SchemeContext(trace=trace))
+        with pytest.raises(ValueError, match="warmup"):
+            simulate(trace, scheme, machine=DEFAULT_MACHINE, plan=plan)
+
+    def test_unplannable_prefetcher_rejected_by_builders(self):
+        trace = random_trace(0, n=200)
+        with pytest.raises(ValueError):
+            build_plan(trace, DEFAULT_MACHINE, "entangling")
+        with pytest.raises(ValueError):
+            frontend_fingerprint(trace, DEFAULT_MACHINE, "entangling")
+
+
+@pytest.fixture()
+def plan_cache(tmp_path, monkeypatch):
+    """Isolated plan cache on disk, empty in-process memo."""
+    monkeypatch.setenv("REPRO_PLAN_CACHE", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    clear_plan_memo()
+    yield tmp_path
+    clear_plan_memo()
+
+
+class TestPlanCache:
+    """Disk round-trip and invalidation, mirroring the runner cache."""
+
+    def test_store_then_load_yields_equal_arrays(self, plan_cache):
+        trace = random_trace(1, n=800)
+        fresh = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        (entry,) = plan_cache.glob("*.npz")
+
+        clear_plan_memo()  # force the disk layer
+        loaded = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        for name in PLAN_ARRAYS:
+            assert np.array_equal(getattr(loaded, name), getattr(fresh, name))
+        assert loaded.fingerprint == fresh.fingerprint
+        assert entry.exists()
+
+    def test_memo_hit_skips_disk(self, plan_cache):
+        trace = random_trace(1, n=800)
+        first = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        (entry,) = plan_cache.glob("*.npz")
+        entry.unlink()  # memo must still serve the same object
+        assert cached_plan(trace, DEFAULT_MACHINE, "fdp") is first
+
+    def test_corrupt_entry_is_unlinked_and_rebuilt(self, plan_cache):
+        trace = random_trace(2, n=800)
+        fresh = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        (entry,) = plan_cache.glob("*.npz")
+        entry.write_text("{not an npz")
+
+        clear_plan_memo()
+        rebuilt = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        for name in PLAN_ARRAYS:
+            assert np.array_equal(getattr(rebuilt, name), getattr(fresh, name))
+        # The corrupt file was replaced by a valid, loadable entry.
+        (entry,) = plan_cache.glob("*.npz")
+        assert FrontendPlan.load(entry).fingerprint == fresh.fingerprint
+
+    def test_stale_fingerprint_is_rebuilt(self, plan_cache):
+        """An entry whose embedded fingerprint mismatches is stale.
+
+        This is what a PLAN_FORMAT bump or a regenerated trace looks
+        like on disk: the file parses but describes different frontend
+        work.  It must be discarded, not trusted.
+        """
+        trace = random_trace(3, n=800)
+        fresh = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        (entry,) = plan_cache.glob("*.npz")
+
+        stale = FrontendPlan.load(entry)
+        stale.fingerprint = "0" * 12
+        stale.mispredict = np.ones_like(stale.mispredict)  # obviously wrong
+        stale.save(entry)
+
+        clear_plan_memo()
+        rebuilt = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        assert rebuilt.fingerprint == fresh.fingerprint
+        assert np.array_equal(rebuilt.mispredict, fresh.mispredict)
+
+    def test_no_disk_cache_env_bypasses(self, plan_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_DISK_CACHE", "1")
+        trace = random_trace(4, n=800)
+        cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        assert not list(plan_cache.glob("*.npz"))
+
+    def test_fingerprint_is_frontend_only(self, plan_cache):
+        """Backend/cache knobs must not fork the plan cache key."""
+        trace = random_trace(5, n=800)
+        base = frontend_fingerprint(trace, DEFAULT_MACHINE, "fdp")
+        backend_tweak = MachineParams(backend_ipc=2.0, mshr_entries=4)
+        assert frontend_fingerprint(trace, backend_tweak, "fdp") == base
+        frontend_tweak = MachineParams(ftq_depth_records=8)
+        assert frontend_fingerprint(trace, frontend_tweak, "fdp") != base
+        assert frontend_fingerprint(trace, DEFAULT_MACHINE, "none") != base
+
+    def test_content_digest_distinguishes_same_named_traces(self, plan_cache):
+        a = random_trace(6, n=800)
+        b = random_trace(7, n=800)
+        b.name = a.name
+        b.seed = a.seed
+        assert frontend_fingerprint(
+            a, DEFAULT_MACHINE, "fdp"
+        ) != frontend_fingerprint(b, DEFAULT_MACHINE, "fdp")
+
+    def test_format_version_embedded(self, plan_cache):
+        trace = random_trace(8, n=800)
+        cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        (entry,) = plan_cache.glob("*.npz")
+        with np.load(entry) as data:
+            assert int(data["format"]) == PLAN_FORMAT
