@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Line-coverage floor for the memory subsystem, stdlib-only.
+
+Usage::
+
+    PYTHONPATH=src python scripts/coverage_gate.py              # default gate
+    PYTHONPATH=src python scripts/coverage_gate.py --floor 90
+    PYTHONPATH=src python scripts/coverage_gate.py tests/test_policies.py
+
+Runs a memory-subsystem-focused pytest selection under the stdlib
+``trace`` module (no ``coverage``/``pytest-cov`` dependency) and fails
+when the aggregate executed-line fraction of ``src/repro/mem`` drops
+below the floor.  CI runs this after the tier-1 suite so a PR cannot
+silently orphan the MSHR/hierarchy/policy code paths the differential
+harness exists to pin.
+
+The default test selection deliberately excludes the large
+whole-engine grids (they add minutes under ``sys.settrace`` and no
+``repro.mem`` lines the unit/property tests miss).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import trace as trace_mod
+import types
+from collections import defaultdict
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+#: Fast, mem-focused selection: unit + differential-schedule + property
+#: tests.  "not 20k and not Simulate and not conservation" drops the
+#: full-engine grids only.
+DEFAULT_PYTEST_ARGS = [
+    "-q",
+    "--no-header",
+    "-p", "no:cacheprovider",
+    "tests/test_mem_components.py",
+    "tests/test_cache_properties.py",
+    "tests/test_policies.py",
+    "tests/test_oracle.py",
+    "tests/test_mshr_differential.py",
+    "-k", "not 20k and not Simulate and not conservation",
+]
+
+
+def _code_lines(code: types.CodeType) -> set[int]:
+    lines = {ln for _, _, ln in code.co_lines() if ln}
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            lines |= _code_lines(const)
+    return lines
+
+
+def executable_lines(path: Path) -> set[int]:
+    """Line numbers the compiler marks executable in ``path``."""
+    try:
+        return set(trace_mod._find_executable_linenos(str(path)))
+    except Exception:
+        source = path.read_text()
+        return _code_lines(compile(source, str(path), "exec"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--target",
+        default="src/repro/mem",
+        help="directory (relative to the repo root) the floor applies to",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=85.0,
+        help="minimum aggregate executed-line percentage",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="pytest selection (default: the mem-focused subset)",
+    )
+    args = parser.parse_args(argv)
+    pytest_args = args.pytest_args or DEFAULT_PYTEST_ARGS
+
+    import pytest
+
+    os.chdir(REPO)
+    tracer = trace_mod.Trace(
+        count=1, trace=0, ignoredirs=[sys.prefix, sys.exec_prefix]
+    )
+    rc = tracer.runfunc(pytest.main, list(pytest_args))
+    if rc != 0:
+        print(f"coverage gate: pytest failed (exit {rc})", file=sys.stderr)
+        return int(rc) or 1
+
+    executed: dict[str, set[int]] = defaultdict(set)
+    for (filename, lineno), hits in tracer.results().counts.items():
+        if hits:
+            executed[os.path.abspath(filename)].add(lineno)
+
+    # Stdlib-trace wart: its ignore cache is keyed by bare module name,
+    # so once an ignored-dir ``__init__`` is seen, *every* package
+    # ``__init__.py`` stops being traced.  Package initialisers are
+    # straight-line re-export code, so credit them fully when the run
+    # actually imported them.
+    imported = {
+        getattr(mod, "__file__", None) for mod in list(sys.modules.values())
+    }
+    for filename in imported:
+        if (
+            filename
+            and filename.endswith("__init__.py")
+            and os.path.abspath(filename) not in executed
+        ):
+            path = Path(filename)
+            try:
+                executed[os.path.abspath(filename)] = executable_lines(path)
+            except OSError:
+                pass
+
+    target = (REPO / args.target).resolve()
+    files = sorted(target.rglob("*.py"))
+    total_hit = total_lines = 0
+    width = max(len(str(p.relative_to(REPO))) for p in files)
+    print(f"\ncoverage of {args.target} (floor {args.floor:.0f}%):")
+    for path in files:
+        lines = executable_lines(path)
+        hit = executed.get(str(path), set()) & lines
+        total_hit += len(hit)
+        total_lines += len(lines)
+        pct = 100.0 * len(hit) / len(lines) if lines else 100.0
+        rel = str(path.relative_to(REPO))
+        print(f"  {rel:<{width}}  {len(hit):>4}/{len(lines):<4}  {pct:6.1f}%")
+    overall = 100.0 * total_hit / total_lines if total_lines else 100.0
+    print(f"  {'TOTAL':<{width}}  {total_hit:>4}/{total_lines:<4}  {overall:6.1f}%")
+    if overall < args.floor:
+        print(
+            f"coverage gate: {overall:.1f}% < floor {args.floor:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"coverage gate: {overall:.1f}% >= floor {args.floor:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

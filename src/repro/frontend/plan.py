@@ -48,6 +48,17 @@ content digest, prefetcher kind, run-ahead depth, warmup split and the
 (fixed) BTB/TAGE geometry.  A sweep builds each workload's plan once in
 the parent process; workers load the ``.npz`` instead of redoing the
 frontend work per (workload, scheme) pair.
+
+Because npz members live inside a zip archive they cannot be
+memory-mapped, so each saved plan also gets an uncompressed *mmap
+sidecar* — a ``<plan>.mmap/`` directory of raw ``.npy`` files plus a
+``meta.json`` carrying the fingerprint (written last, as the commit
+marker).  ``cached_plan`` serves sidecars through
+``np.load(mmap_mode="r")`` behind the same fingerprint check as the
+npz, so many sweep workers loading the same workload share one page
+cache instead of each inflating its own copy; any stale or corrupt
+sidecar is discarded and rebuilt from the npz.  Sidecar reads are on by
+default; set ``REPRO_PLAN_MMAP=0`` to force full npz loads.
 """
 
 from __future__ import annotations
@@ -56,6 +67,7 @@ import hashlib
 import json
 import os
 import re
+import shutil
 from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
@@ -75,6 +87,16 @@ PLANNABLE_PREFETCHERS = ("fdp", "none")
 #: Bump when the array layout or replay semantics change; stale cache
 #: entries then miss on fingerprint and are rebuilt.
 PLAN_FORMAT = 1
+
+#: The plan's bulk arrays, in the order the mmap sidecar stores them.
+PLAN_ARRAY_FIELDS = (
+    "mispredict",
+    "cum_mispredict",
+    "cand_lo",
+    "cand_hi",
+    "warmup_stats",
+    "final_stats",
+)
 
 #: BranchStackStats fields, in snapshot-array order.
 STATS_FIELDS = (
@@ -181,6 +203,77 @@ class FrontendPlan:
         tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")
         self._write(tmp)
         os.replace(tmp, path)
+        self.write_mmap_sidecar(mmap_sidecar_path(path))
+
+    # -- mmap sidecar -------------------------------------------------------
+
+    def write_mmap_sidecar(self, dirpath: Path) -> None:
+        """Write the uncompressed ``.npy``-per-array sidecar for ``dirpath``.
+
+        Built in a temp directory and committed by rename; ``meta.json``
+        (carrying the fingerprint) is written last inside the temp dir,
+        so a directory without readable meta is never trusted.  Best
+        effort: a lost race against another writer leaves the winner's
+        sidecar in place.
+        """
+        tmp = dirpath.with_name(f"{dirpath.name}.{os.getpid()}.tmp")
+        shutil.rmtree(tmp, ignore_errors=True)
+        tmp.mkdir(parents=True)
+        try:
+            for name in PLAN_ARRAY_FIELDS:
+                np.save(tmp / f"{name}.npy", getattr(self, name))
+            meta = {
+                "format": PLAN_FORMAT,
+                "fingerprint": self.fingerprint,
+                "trace_name": self.trace_name,
+                "trace_digest": self.trace_digest,
+                "prefetcher": self.prefetcher,
+                "depth": self.depth,
+                "warmup_end": self.warmup_end,
+                "records": len(self),
+            }
+            (tmp / "meta.json").write_text(json.dumps(meta, sort_keys=True))
+            shutil.rmtree(dirpath, ignore_errors=True)
+            os.replace(tmp, dirpath)
+        except OSError:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    @classmethod
+    def load_mmap(cls, dirpath: Path) -> "FrontendPlan":
+        """Load a plan from its mmap sidecar; arrays are memory-mapped.
+
+        Raises on any corruption (missing/truncated arrays, bad meta,
+        format drift, inconsistent lengths) — callers discard the
+        sidecar and fall back to the npz.
+        """
+        meta = json.loads((dirpath / "meta.json").read_text())
+        if int(meta["format"]) != PLAN_FORMAT:
+            raise ValueError(
+                f"plan format {meta['format']} != {PLAN_FORMAT}"
+            )
+        arrays = {
+            name: np.load(dirpath / f"{name}.npy", mmap_mode="r")
+            for name in PLAN_ARRAY_FIELDS
+        }
+        n = int(meta["records"])
+        if (
+            len(arrays["mispredict"]) != n
+            or len(arrays["cum_mispredict"]) != n + 1
+            or len(arrays["cand_lo"]) != n
+            or len(arrays["cand_hi"]) != n
+            or len(arrays["warmup_stats"]) != len(STATS_FIELDS)
+            or len(arrays["final_stats"]) != len(STATS_FIELDS)
+        ):
+            raise ValueError(f"inconsistent sidecar array lengths in {dirpath}")
+        return cls(
+            trace_name=str(meta["trace_name"]),
+            trace_digest=str(meta["trace_digest"]),
+            prefetcher=str(meta["prefetcher"]),
+            depth=int(meta["depth"]),
+            warmup_end=int(meta["warmup_end"]),
+            fingerprint=str(meta["fingerprint"]),
+            **arrays,
+        )
 
     def _write(self, path: Path) -> None:
         np.savez_compressed(
@@ -499,6 +592,16 @@ def _plan_path(trace: Trace, fingerprint: str) -> Path:
     return plan_cache_dir() / f"{safe}.{fingerprint}.npz"
 
 
+def mmap_sidecar_path(plan_path: Path) -> Path:
+    """The mmap sidecar directory belonging to a plan ``.npz`` path."""
+    return plan_path.with_name(f"{plan_path.stem}.mmap")
+
+
+def _mmap_enabled() -> bool:
+    """Sidecar mmap reads are on unless REPRO_PLAN_MMAP=0."""
+    return os.environ.get("REPRO_PLAN_MMAP", "") != "0"
+
+
 #: Small in-process memo (full-length plans are tens of MB; a sweep
 #: only ever needs a handful of workloads at once).
 _MEMO_CAP = 8
@@ -532,7 +635,18 @@ def cached_plan(
     if use_disk is None:
         use_disk = os.environ.get("REPRO_NO_DISK_CACHE", "") != "1"
     path = _plan_path(trace, fingerprint)
-    if use_disk and path.exists():
+    sidecar = mmap_sidecar_path(path)
+    if use_disk and _mmap_enabled() and sidecar.exists():
+        # Sweep workers land here: zero-copy load of the parent-built
+        # plan, behind the same fingerprint check as the npz layer.
+        try:
+            plan = FrontendPlan.load_mmap(sidecar)
+            if plan.fingerprint != fingerprint or len(plan) != len(trace):
+                raise ValueError("stale plan mmap sidecar")
+        except Exception:
+            shutil.rmtree(sidecar, ignore_errors=True)  # corrupt/stale
+            plan = None
+    if plan is None and use_disk and path.exists():
         try:
             plan = FrontendPlan.load(path)
             if plan.fingerprint != fingerprint or len(plan) != len(trace):
@@ -540,6 +654,8 @@ def cached_plan(
         except Exception:
             path.unlink(missing_ok=True)  # corrupt/stale: rebuild
             plan = None
+        if plan is not None and _mmap_enabled() and not sidecar.exists():
+            plan.write_mmap_sidecar(sidecar)  # repair for future workers
     if plan is None:
         plan = build_plan(trace, machine, prefetcher)
         if use_disk:

@@ -10,12 +10,23 @@ The file keeps a running lower bound on the earliest completion cycle
 (``next_ready``) so the timing engine can skip ``drain`` entirely while
 nothing is due — the common case, since most records issue no prefetch
 and complete no fill.
+
+Fill-delivery contract (PR 3): **no completed fill is ever discarded**.
+Every allocated miss is eventually returned by exactly one ``drain``
+call (unless a demand takeover ``cancel``\\ s it first).  ``allocate``
+never drains internally; when the file is full, the earliest-completing
+entry's register is handed over to the new miss — the displaced fill
+still completes at its own ready cycle and is parked in a *deferred*
+buffer that the next ``drain`` delivers.  (The seed model drained and
+dropped such fills inside ``allocate``, silently understating every
+prefetching scheme; ``tests/test_mshr_differential.py`` pins the fixed
+semantics against a naive reference.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 _NEVER = float("inf")
 
@@ -35,57 +46,98 @@ class MSHRFile:
             raise ValueError(f"MSHR entries must be positive, got {entries}")
         self.entries = entries
         self._pending: Dict[int, int] = {}
-        # Lower bound on min(pending completion cycles); exact after every
-        # drain scan, possibly stale-low after cancel / full-stall pops.
-        # A stale-low bound only costs a spurious scan, never a missed fill.
+        # Fills displaced by a full-file handover: they no longer hold a
+        # register (the stalled miss took it) but still complete at
+        # their original ready cycle and must reach the owning scheme.
+        self._deferred: List[Tuple[int, int]] = []
+        # Lower bound on min(completion cycles) over pending + deferred;
+        # exact after every drain scan, possibly stale-low after cancel.
+        # A stale-low bound only costs a spurious scan, never a missed
+        # fill.
         self._min_ready: float = _NEVER
         self.stats = MSHRStats()
 
     def __len__(self) -> int:
-        return len(self._pending)
+        return len(self._pending) + len(self._deferred)
 
     def __contains__(self, block: int) -> bool:
-        return block in self._pending
+        if block in self._pending:
+            return True
+        if self._deferred:
+            return any(b == block for b, _ in self._deferred)
+        return False
 
     @property
     def next_ready(self) -> float:
-        """Earliest cycle at which any pending fill may complete (inf if none)."""
+        """Earliest cycle at which any fill may complete (inf if none)."""
         return self._min_ready
 
     def drain(self, now: int) -> List[int]:
-        """Retire every miss whose fill has completed by ``now``."""
+        """Deliver every fill that has completed by ``now``.
+
+        Returns pending entries in allocation order, then deferred
+        (handed-over) fills in handover order — the deterministic order
+        the differential reference replicates.  Each fill is returned
+        exactly once.
+        """
         if now < self._min_ready:
             return []
         pending = self._pending
         done = [b for b, ready in pending.items() if ready <= now]
         for block in done:
             del pending[block]
-        self._min_ready = min(pending.values()) if pending else _NEVER
+        floor = min(pending.values()) if pending else _NEVER
+        if self._deferred:
+            still: List[Tuple[int, int]] = []
+            for block, ready in self._deferred:
+                if ready <= now:
+                    done.append(block)
+                else:
+                    still.append((block, ready))
+                    if ready < floor:
+                        floor = ready
+            self._deferred = still
+        self._min_ready = floor
         return done
 
     def ready_cycle(self, block: int) -> Optional[int]:
-        return self._pending.get(block)
+        ready = self._pending.get(block)
+        if ready is not None:
+            return ready
+        if self._deferred:
+            for b, r in self._deferred:
+                if b == block:
+                    return r
+        return None
 
     def allocate(self, block: int, ready_cycle: int, now: int) -> int:
         """Register an outstanding miss; returns its completion cycle.
 
-        Merges into an existing entry for the same block.  When the file
-        is full, the request must wait for the earliest completion slot
-        (modelled by delaying the fill until a register frees up).
+        Merges into an existing entry (pending or deferred) for the same
+        block.  When the file is full, the miss waits for the earliest
+        completion slot: the whole latency is delayed by that wait and
+        the displaced fill moves to the deferred buffer — it is *not*
+        dropped; the next ``drain`` past its ready cycle delivers it.
+
+        Callers that care about exact capacity pressure should ``drain``
+        completed fills first; entries whose fills have completed but
+        were never drained still occupy registers here.
         """
-        existing = self._pending.get(block)
+        existing = self.ready_cycle(block)
         if existing is not None:
             self.stats.merges += 1
             return existing
-        self.drain(now)
-        if len(self._pending) >= self.entries:
+        pending = self._pending
+        if len(pending) >= self.entries:
             self.stats.full_stalls += 1
             # The miss cannot issue until a register frees: delay the
-            # whole latency by the wait for the earliest completion.
-            earliest_block = min(self._pending, key=self._pending.__getitem__)
-            earliest = self._pending.pop(earliest_block)
+            # whole latency by the wait for the earliest completion,
+            # whose fill is handed over to the deferred buffer.
+            earliest_block = min(pending, key=pending.__getitem__)
+            earliest = pending.pop(earliest_block)
+            self._deferred.append((earliest_block, earliest))
             ready_cycle += max(0, earliest - now)
-        self._pending[block] = ready_cycle
+        pending[block] = ready_cycle
         if ready_cycle < self._min_ready:
             self._min_ready = ready_cycle
         self.stats.allocations += 1
@@ -93,11 +145,15 @@ class MSHRFile:
 
     def cancel(self, block: int) -> None:
         """Drop the outstanding entry for ``block`` (demand takeover)."""
-        self._pending.pop(block, None)
-        if not self._pending:
+        if self._pending.pop(block, None) is None and self._deferred:
+            self._deferred = [
+                (b, r) for b, r in self._deferred if b != block
+            ]
+        if not self._pending and not self._deferred:
             self._min_ready = _NEVER
 
     def reset(self) -> None:
         self._pending.clear()
+        self._deferred.clear()
         self._min_ready = _NEVER
         self.stats = MSHRStats()

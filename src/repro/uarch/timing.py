@@ -247,6 +247,13 @@ def simulate(
                 queue = 0.0
             icycles = int(cycles)
             scheme_fill(block, i, icycles)
+            # The stall advanced ``cycles``: prefetch fills that completed
+            # meanwhile must reach the scheme before the candidate loop
+            # (the seed model let ``allocate`` silently drop them).
+            if next_ready <= cycles:
+                for done in mshr_drain(cycles):
+                    scheme_prefetch_fill(done, i, icycles)
+                next_ready = mshr.next_ready
 
         pf_observe_fetch(block, icycles)
         for candidate in pf_candidates(i):
@@ -391,6 +398,12 @@ def _simulate_planned(
                 queue = 0.0
             icycles = int(cycles)
             scheme_fill(block, i, icycles)
+            # Mirror of the live path: surface fills completed during the
+            # stall before the candidate loop can re-request their blocks.
+            if next_ready <= cycles:
+                for done in mshr_drain(cycles):
+                    scheme_prefetch_fill(done, i, icycles)
+                next_ready = mshr.next_ready
 
         lo = cand_lo[i]
         hi = cand_hi[i]

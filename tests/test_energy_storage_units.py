@@ -1,0 +1,192 @@
+"""Direct unit tests for the energy and storage models.
+
+``analysis/energy.py`` and ``analysis/storage.py`` were previously
+exercised only through figure benchmarks (which assert qualitative
+orderings).  These tests pin the arithmetic itself against
+hand-computed expectations: every Table I row in bits, the CACTI-style
+access-energy law at known points, and each component of a
+RunResult's energy breakdown computed by hand.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.energy import (
+    EnergyParams,
+    acic_energy_saving_percent,
+    run_energy,
+    sram_access_energy,
+)
+from repro.analysis.storage import (
+    ACICStorageConfig,
+    PAPER_STORAGE_KB,
+    acic_storage_bits,
+    acic_storage_kb,
+    scheme_storage_kb,
+)
+from repro.uarch.timing import RunResult
+
+
+def _run(**kw) -> RunResult:
+    base = dict(
+        workload="unit",
+        scheme_name="unit",
+        prefetcher_name="fdp",
+        instructions=1_000,
+        accesses=500,
+        cycles=2_000.0,
+        demand_misses=50,
+        late_prefetch_misses=0,
+        prefetches_issued=30,
+        mispredicted_transitions=0,
+    )
+    base.update(kw)
+    return RunResult(**base)
+
+
+class TestStorageArithmetic:
+    """Table I, row by row, in bits (hand-computed)."""
+
+    def test_table1_rows_exact_bits(self):
+        bits = acic_storage_bits()
+        # i-Filter: 16 slots x (58 tag + 1 valid + 4 LRU + 512 data).
+        assert bits["i-Filter"] == 16 * (58 + 1 + 4 + 8 * 64) == 9200
+        # HRT: 1024 entries x 4-bit history.
+        assert bits["HRT"] == 1024 * 4 == 4096
+        # PT: 2^4 counters x 5 bits.
+        assert bits["PT"] == 16 * 5 == 80
+        # PT update queues: 16 queues x 10 slots x (4-bit index + valid).
+        assert bits["PT update queues"] == 16 * 10 * 5 == 800
+        # CSHR: 256 entries x (2 x 12-bit tags + valid + 5 LRU bits).
+        assert bits["CSHR"] == 256 * 30 == 7680
+
+    def test_table1_total_kb(self):
+        total_bits = 9200 + 4096 + 80 + 800 + 7680
+        assert sum(acic_storage_bits().values()) == total_bits == 21_856
+        assert acic_storage_kb() == pytest.approx(total_bits / 8 / 1024)
+        assert acic_storage_kb() == pytest.approx(2.67, abs=0.01)
+
+    def test_config_knobs_scale_rows(self):
+        # Doubling HRT entries adds exactly 1024 x 4 bits.
+        grown = ACICStorageConfig(hrt_entries=2048)
+        assert (
+            acic_storage_bits(grown)["HRT"] - acic_storage_bits()["HRT"]
+            == 1024 * 4
+        )
+        # 8-bit history: 256-entry PT and wider queues and HRT rows.
+        wide = ACICStorageConfig(history_bits=8)
+        bits = acic_storage_bits(wide)
+        assert bits["PT"] == (1 << 8) * 5
+        assert bits["PT update queues"] == (1 << 8) * 10 * (8 + 1)
+        assert bits["HRT"] == 1024 * 8
+
+    def test_scheme_table_hand_checked_rows(self):
+        kb = scheme_storage_kb()
+        # SRRIP: 512 lines x 2-bit RRPV = 1024 bits = 0.125 KB.
+        assert kb["SRRIP"] == pytest.approx(512 * 2 / 8 / 1024) == 0.125
+        # VC3K: 48 blocks x (512 data + 58 tag + 1 valid + 6 LRU).
+        assert kb["VC3K"] == pytest.approx(48 * 577 / 8 / 1024)
+        # 36KB L1i: 4 KB of extra SRAM.
+        assert kb["36KB L1i"] == pytest.approx(4.0)
+        assert kb["OPT"] == 0.0
+        assert kb["ACIC"] == pytest.approx(acic_storage_kb())
+
+    def test_measured_table_tracks_paper_where_modelled(self):
+        kb = scheme_storage_kb()
+        assert kb["SRRIP"] == pytest.approx(PAPER_STORAGE_KB["SRRIP"])
+        assert kb["ACIC"] == pytest.approx(PAPER_STORAGE_KB["ACIC"], abs=0.01)
+
+
+class TestSRAMEnergyLaw:
+    def test_power_law_at_known_points(self):
+        p = EnergyParams()
+        # E(size) = 0.006 * size^0.75 pJ.
+        assert sram_access_energy(1024, p) == pytest.approx(
+            0.006 * 1024**0.75
+        )
+        assert sram_access_energy(32 * 1024, p) == pytest.approx(
+            0.006 * (32 * 1024) ** 0.75
+        )
+        # The 32 KB / 1 KB per-access ratio the 0.75 exponent exists
+        # for: 32^0.75 ~ 13.45x.
+        ratio = sram_access_energy(32 * 1024, p) / sram_access_energy(1024, p)
+        assert ratio == pytest.approx(32**0.75)
+        assert ratio == pytest.approx(13.45, abs=0.01)
+
+    def test_degenerate_sizes_are_free(self):
+        p = EnergyParams()
+        assert sram_access_energy(0, p) == 0.0
+        assert sram_access_energy(-5, p) == 0.0
+
+
+class TestEnergyBreakdown:
+    def test_components_hand_computed(self):
+        run = _run()
+        p = EnergyParams()
+        b = run_energy(run, l1i_bytes=32 * 1024, params=p)
+        pj = 1e-12
+        # Core: 1000 instructions x 150 pJ = 1.5e-7 J.
+        assert b.core_dynamic == pytest.approx(1.5e-7)
+        # L1i: 500 accesses x 0.006 x 32768^0.75 pJ.
+        assert b.l1i_dynamic == pytest.approx(
+            500 * 0.006 * 32768**0.75 * pj
+        )
+        # Next level: (50 misses + 30 prefetches) x 60 pJ = 4.8e-9 J.
+        assert b.next_level_dynamic == pytest.approx(80 * 60 * pj)
+        # No extra structures: zero extra dynamic energy.
+        assert b.extra_dynamic == 0.0
+        # Leakage: (1.2 W core + 32 KB x 0.002 W/KB) x 2000 x 0.25 ns.
+        seconds = 2_000.0 * 0.25e-9
+        assert b.leakage == pytest.approx((1.2 + 32 * 0.002) * seconds)
+        assert b.total == pytest.approx(
+            b.core_dynamic
+            + b.l1i_dynamic
+            + b.next_level_dynamic
+            + b.leakage
+        )
+
+    def test_extra_structures_probe_rates(self):
+        """i-Filter probes every fetch; CSHR-path probes 25% of them."""
+        run = _run()
+        p = EnergyParams()
+        bits = {"i-Filter": 8 * 1024, "CSHR": 8 * 1024}  # 1 KB each
+        b = run_energy(run, bits, params=p)
+        per_access = sram_access_energy(1024, p) * 1e-12
+        expected = 500 * 1.0 * per_access + 500 * 0.25 * per_access
+        assert b.extra_dynamic == pytest.approx(expected)
+        # And 2 KB of extra SRAM leaks at 0.002 W/KB over the runtime.
+        seconds = 2_000.0 * 0.25e-9
+        assert b.leakage == pytest.approx(
+            (1.2 + (32 + 2) * 0.002) * seconds
+        )
+
+    def test_acic_saving_sign_hand_case(self):
+        """A 10% faster, lower-miss ACIC run must save energy overall."""
+        base = _run(cycles=2_000.0, demand_misses=50)
+        fast = _run(cycles=1_800.0, demand_misses=30, prefetches_issued=30)
+        saving = acic_energy_saving_percent(fast, base)
+        assert saving > 0.0
+        # Identical runs: ACIC's extra structures make it strictly lose.
+        assert acic_energy_saving_percent(base, base) < 0.0
+
+    def test_zero_energy_baseline_rejected(self):
+        empty = _run(instructions=0, accesses=0, cycles=0.0,
+                     demand_misses=0, prefetches_issued=0)
+        with pytest.raises(ValueError, match="zero energy"):
+            acic_energy_saving_percent(_run(), empty)
+
+    def test_saving_percent_is_relative_to_baseline(self):
+        base = _run()
+        fast = _run(cycles=1_000.0, demand_misses=0, prefetches_issued=0)
+        b_total = run_energy(base).total
+        from repro.analysis.storage import acic_storage_bits as bits
+
+        a_total = run_energy(fast, bits()).total
+        expected = 100.0 * (b_total - a_total) / b_total
+        assert acic_energy_saving_percent(fast, base) == pytest.approx(
+            expected
+        )
+        assert math.isfinite(expected)

@@ -12,6 +12,8 @@ plan analogue of ``tests/test_runner_cache.py``.
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -24,6 +26,7 @@ from repro.frontend.plan import (
     cached_plan,
     clear_plan_memo,
     frontend_fingerprint,
+    mmap_sidecar_path,
     plannable,
 )
 from repro.frontend.stack import BranchStack
@@ -296,8 +299,24 @@ class TestSimulateArgumentValidation:
 
 @pytest.fixture()
 def plan_cache(tmp_path, monkeypatch):
-    """Isolated plan cache on disk, empty in-process memo."""
+    """Isolated plan cache on disk, empty in-process memo.
+
+    mmap sidecar reads are disabled so these tests exercise the npz
+    layer in isolation; ``TestPlanMmapSidecar`` covers the sidecar.
+    """
     monkeypatch.setenv("REPRO_PLAN_CACHE", str(tmp_path))
+    monkeypatch.setenv("REPRO_PLAN_MMAP", "0")
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    clear_plan_memo()
+    yield tmp_path
+    clear_plan_memo()
+
+
+@pytest.fixture()
+def mmap_plan_cache(tmp_path, monkeypatch):
+    """Isolated plan cache with mmap sidecar reads enabled."""
+    monkeypatch.setenv("REPRO_PLAN_CACHE", str(tmp_path))
+    monkeypatch.setenv("REPRO_PLAN_MMAP", "1")
     monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
     clear_plan_memo()
     yield tmp_path
@@ -392,3 +411,102 @@ class TestPlanCache:
         (entry,) = plan_cache.glob("*.npz")
         with np.load(entry) as data:
             assert int(data["format"]) == PLAN_FORMAT
+
+
+class TestPlanMmapSidecar:
+    """The uncompressed sidecar sweep workers memory-map.
+
+    Mirrors the npz-layer staleness/corruption tests: a sidecar is only
+    trusted behind the same fingerprint check, and any unreadable or
+    stale sidecar is discarded and rebuilt from the npz without ever
+    serving wrong arrays.
+    """
+
+    def _entry(self, cache):
+        (entry,) = cache.glob("*.npz")
+        return entry
+
+    def test_save_writes_sidecar_and_load_maps_arrays(self, mmap_plan_cache):
+        trace = random_trace(1, n=800)
+        fresh = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        sidecar = mmap_sidecar_path(self._entry(mmap_plan_cache))
+        assert sidecar.is_dir()
+        assert (sidecar / "meta.json").exists()
+
+        clear_plan_memo()  # force the disk layer
+        loaded = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        for name in PLAN_ARRAYS:
+            got = getattr(loaded, name)
+            assert np.array_equal(got, getattr(fresh, name)), name
+        # The bulk arrays really are memory-mapped, not copies.
+        assert isinstance(loaded.mispredict, np.memmap)
+        assert loaded.fingerprint == fresh.fingerprint
+        # And the mapped plan drives simulate() identically.
+        live, _ = live_run(trace, "lru", "fdp")
+        scheme = make_scheme("lru", SchemeContext(trace=trace))
+        mapped = simulate(trace, scheme, machine=DEFAULT_MACHINE, plan=loaded)
+        assert _scalars(mapped) == _scalars(live)
+
+    def test_corrupt_sidecar_falls_back_to_npz(self, mmap_plan_cache):
+        trace = random_trace(2, n=800)
+        fresh = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        sidecar = mmap_sidecar_path(self._entry(mmap_plan_cache))
+        (sidecar / "cand_lo.npy").write_bytes(b"\x93NUMPY garbage")
+
+        clear_plan_memo()
+        loaded = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        for name in PLAN_ARRAYS:
+            assert np.array_equal(getattr(loaded, name), getattr(fresh, name))
+        # The corrupt sidecar was discarded and repaired from the npz.
+        assert FrontendPlan.load_mmap(sidecar).fingerprint == fresh.fingerprint
+
+    def test_truncated_array_is_rejected(self, mmap_plan_cache):
+        trace = random_trace(3, n=800)
+        fresh = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        sidecar = mmap_sidecar_path(self._entry(mmap_plan_cache))
+        mis = sidecar / "mispredict.npy"
+        mis.write_bytes(mis.read_bytes()[:-200])
+
+        clear_plan_memo()
+        loaded = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        assert np.array_equal(loaded.mispredict, fresh.mispredict)
+
+    def test_stale_sidecar_fingerprint_is_discarded(self, mmap_plan_cache):
+        trace = random_trace(4, n=800)
+        fresh = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        sidecar = mmap_sidecar_path(self._entry(mmap_plan_cache))
+        meta_path = sidecar / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["fingerprint"] = "0" * 12
+        meta_path.write_text(json.dumps(meta))
+        # Poison an array too: serving it would be observably wrong.
+        np.save(sidecar / "mispredict.npy", np.ones(800, dtype=np.uint8))
+
+        clear_plan_memo()
+        loaded = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        assert loaded.fingerprint == fresh.fingerprint
+        assert np.array_equal(loaded.mispredict, fresh.mispredict)
+
+    def test_missing_sidecar_is_repaired_from_npz(self, mmap_plan_cache):
+        import shutil
+
+        trace = random_trace(5, n=800)
+        cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        sidecar = mmap_sidecar_path(self._entry(mmap_plan_cache))
+        shutil.rmtree(sidecar)
+
+        clear_plan_memo()
+        cached_plan(trace, DEFAULT_MACHINE, "fdp")  # loads npz, repairs
+        assert sidecar.is_dir()
+        clear_plan_memo()
+        assert isinstance(
+            cached_plan(trace, DEFAULT_MACHINE, "fdp").mispredict, np.memmap
+        )
+
+    def test_env_opt_out_loads_plain_arrays(self, mmap_plan_cache, monkeypatch):
+        trace = random_trace(6, n=800)
+        cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        monkeypatch.setenv("REPRO_PLAN_MMAP", "0")
+        clear_plan_memo()
+        loaded = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        assert not isinstance(loaded.mispredict, np.memmap)

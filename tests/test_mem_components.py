@@ -43,6 +43,40 @@ class TestHierarchy:
         assert h.stats.accesses == 0
         assert h.access(1) == h.config.dram_latency
 
+    def test_flat_levels_are_capacity_bounded(self):
+        cfg = HierarchyConfig(
+            l2_size_bytes=4 * 64, l3_size_bytes=8 * 64
+        )  # 4-block L2, 8-block L3
+        h = MemoryHierarchy(cfg)
+        for b in range(20):
+            h.access(b)
+        assert not h.in_l2(0) and not h.in_l3(0)
+        assert h.in_l2(19) and h.in_l3(19)
+        assert h.resident_blocks() == cfg.l2_blocks + cfg.l3_blocks
+
+    def test_lru_promotion_on_hit(self):
+        cfg = HierarchyConfig(l2_size_bytes=2 * 64, l3_size_bytes=8 * 64)
+        h = MemoryHierarchy(cfg)
+        h.access(1)
+        h.access(2)
+        h.access(1)  # promote 1 to MRU in the 2-block L2
+        h.access(3)  # evicts 2, not 1
+        assert h.in_l2(1) and not h.in_l2(2)
+
+    def test_nine_no_back_invalidate(self):
+        """An L3 eviction leaves the L2 copy resident (NINE)."""
+        cfg = HierarchyConfig(l2_size_bytes=4 * 64, l3_size_bytes=2 * 64)
+        h = MemoryHierarchy(cfg)
+        h.access(1)
+        h.access(2)
+        h.access(3)  # L3 evicts 1; L2 (4 blocks) still holds it
+        assert not h.in_l3(1) and h.in_l2(1)
+        assert h.access(1) == cfg.l2_latency
+
+    def test_levels_must_hold_a_block(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(l2_size_bytes=32)
+
 
 class TestMSHR:
     def test_allocate_and_drain(self):
@@ -77,6 +111,65 @@ class TestMSHR:
     def test_invalid_entries(self):
         with pytest.raises(ValueError):
             MSHRFile(0)
+
+    def test_full_handover_never_drops_the_displaced_fill(self):
+        """The displaced earliest fill must still reach a later drain."""
+        m = MSHRFile(1)
+        m.allocate(1, 100, 0)
+        m.allocate(2, 150, 0)  # displaces 1 into the deferred buffer
+        assert 1 in m and 2 in m
+        assert len(m) == 2
+        assert m.drain(99) == []
+        assert m.drain(100) == [1]
+        assert m.drain(250) == [2]
+        assert len(m) == 0
+
+    def test_completed_fill_survives_allocate(self):
+        """allocate must not drain-and-discard fills completed by now."""
+        m = MSHRFile(4)
+        m.allocate(1, 10, 0)
+        m.allocate(2, 50, 20)  # now=20 > block 1's ready cycle
+        assert 1 in m
+        assert m.drain(20) == [1]
+
+    def test_drain_orders_pending_before_deferred(self):
+        m = MSHRFile(2)
+        m.allocate(1, 10, 0)
+        m.allocate(2, 11, 0)
+        m.allocate(3, 12, 0)  # defers block 1 (earliest); 3 waits until 22
+        assert m.drain(12) == [2, 1]
+        assert m.drain(22) == [3]
+
+    def test_merge_into_deferred_entry(self):
+        m = MSHRFile(1)
+        m.allocate(1, 100, 0)
+        m.allocate(2, 150, 0)  # defers (1, 100)
+        assert m.allocate(1, 999, 0) == 100  # merges, not re-issued
+        assert m.stats.merges == 1
+
+    def test_cancel_deferred_entry(self):
+        m = MSHRFile(1)
+        m.allocate(1, 100, 0)
+        m.allocate(2, 150, 0)
+        m.cancel(1)
+        assert 1 not in m
+        assert m.drain(1000) == [2]
+
+    def test_next_ready_tracks_deferred(self):
+        m = MSHRFile(1)
+        m.allocate(1, 100, 0)
+        m.allocate(2, 150, 0)  # deferred (1, 100) is the earliest fill
+        assert m.next_ready <= 100
+        assert m.drain(100) == [1]
+        assert m.next_ready == 250  # block 2 delayed by the handover wait
+
+    def test_reset_clears_deferred(self):
+        m = MSHRFile(1)
+        m.allocate(1, 100, 0)
+        m.allocate(2, 150, 0)
+        m.reset()
+        assert len(m) == 0
+        assert m.drain(10_000) == []
 
 
 class TestVictimCache:
