@@ -1,22 +1,24 @@
 #!/usr/bin/env python
-"""Line-coverage floor for the memory subsystem, stdlib-only.
+"""Line-coverage floors for the memory and ACIC-core subsystems, stdlib-only.
 
 Usage::
 
-    PYTHONPATH=src python scripts/coverage_gate.py              # default gate
+    PYTHONPATH=src python scripts/coverage_gate.py              # default gates
     PYTHONPATH=src python scripts/coverage_gate.py --floor 90
+    PYTHONPATH=src python scripts/coverage_gate.py --target src/repro/mem
     PYTHONPATH=src python scripts/coverage_gate.py tests/test_policies.py
 
-Runs a memory-subsystem-focused pytest selection under the stdlib
-``trace`` module (no ``coverage``/``pytest-cov`` dependency) and fails
-when the aggregate executed-line fraction of ``src/repro/mem`` drops
-below the floor.  CI runs this after the tier-1 suite so a PR cannot
-silently orphan the MSHR/hierarchy/policy code paths the differential
-harness exists to pin.
+Runs a subsystem-focused pytest selection under the stdlib ``trace``
+module (no ``coverage``/``pytest-cov`` dependency) and fails when the
+aggregate executed-line fraction of any target directory — by default
+both ``src/repro/mem`` and ``src/repro/core`` — drops below the floor.
+CI runs this after the tier-1 suite so a PR cannot silently orphan the
+MSHR/hierarchy/policy or i-Filter/CSHR/predictor/controller code paths
+the differential harnesses exist to pin.
 
 The default test selection deliberately excludes the large
 whole-engine grids (they add minutes under ``sys.settrace`` and no
-``repro.mem`` lines the unit/property tests miss).
+target lines the unit/property/differential-schedule tests miss).
 """
 
 from __future__ import annotations
@@ -32,9 +34,9 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO / "src"))
 
-#: Fast, mem-focused selection: unit + differential-schedule + property
-#: tests.  "not 20k and not Simulate and not conservation" drops the
-#: full-engine grids only.
+#: Fast, subsystem-focused selection: unit + differential-schedule +
+#: property tests.  "not 20k and not Simulate and not conservation"
+#: drops the full-engine grids only.
 DEFAULT_PYTEST_ARGS = [
     "-q",
     "--no-header",
@@ -44,8 +46,13 @@ DEFAULT_PYTEST_ARGS = [
     "tests/test_policies.py",
     "tests/test_oracle.py",
     "tests/test_mshr_differential.py",
+    "tests/test_acic_core.py",
+    "tests/test_acic_differential.py",
     "-k", "not 20k and not Simulate and not conservation",
 ]
+
+#: Directories the floor applies to when no --target is given.
+DEFAULT_TARGETS = ["src/repro/mem", "src/repro/core"]
 
 
 def _code_lines(code: types.CodeType) -> set[int]:
@@ -69,8 +76,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--target",
-        default="src/repro/mem",
-        help="directory (relative to the repo root) the floor applies to",
+        action="append",
+        default=None,
+        help="directory (relative to the repo root) the floor applies to; "
+        "repeatable (default: src/repro/mem and src/repro/core)",
     )
     parser.add_argument(
         "--floor",
@@ -122,29 +131,41 @@ def main(argv: list[str] | None = None) -> int:
             except OSError:
                 pass
 
-    target = (REPO / args.target).resolve()
-    files = sorted(target.rglob("*.py"))
-    total_hit = total_lines = 0
-    width = max(len(str(p.relative_to(REPO))) for p in files)
-    print(f"\ncoverage of {args.target} (floor {args.floor:.0f}%):")
-    for path in files:
-        lines = executable_lines(path)
-        hit = executed.get(str(path), set()) & lines
-        total_hit += len(hit)
-        total_lines += len(lines)
-        pct = 100.0 * len(hit) / len(lines) if lines else 100.0
-        rel = str(path.relative_to(REPO))
-        print(f"  {rel:<{width}}  {len(hit):>4}/{len(lines):<4}  {pct:6.1f}%")
-    overall = 100.0 * total_hit / total_lines if total_lines else 100.0
-    print(f"  {'TOTAL':<{width}}  {total_hit:>4}/{total_lines:<4}  {overall:6.1f}%")
-    if overall < args.floor:
+    failures = []
+    for target_rel in args.target or DEFAULT_TARGETS:
+        target = (REPO / target_rel).resolve()
+        files = sorted(target.rglob("*.py"))
+        if not files:
+            print(
+                f"coverage gate: no Python files under {target_rel}",
+                file=sys.stderr,
+            )
+            return 1
+        total_hit = total_lines = 0
+        width = max(len(str(p.relative_to(REPO))) for p in files)
+        print(f"\ncoverage of {target_rel} (floor {args.floor:.0f}%):")
+        for path in files:
+            lines = executable_lines(path)
+            hit = executed.get(str(path), set()) & lines
+            total_hit += len(hit)
+            total_lines += len(lines)
+            pct = 100.0 * len(hit) / len(lines) if lines else 100.0
+            rel = str(path.relative_to(REPO))
+            print(f"  {rel:<{width}}  {len(hit):>4}/{len(lines):<4}  {pct:6.1f}%")
+        overall = 100.0 * total_hit / total_lines if total_lines else 100.0
         print(
-            f"coverage gate: {overall:.1f}% < floor {args.floor:.1f}%",
+            f"  {'TOTAL':<{width}}  {total_hit:>4}/{total_lines:<4}  {overall:6.1f}%"
+        )
+        if overall < args.floor:
+            failures.append((target_rel, overall))
+        else:
+            print(f"coverage gate: {target_rel} {overall:.1f}% >= floor {args.floor:.1f}%")
+    for target_rel, overall in failures:
+        print(
+            f"coverage gate: {target_rel} {overall:.1f}% < floor {args.floor:.1f}%",
             file=sys.stderr,
         )
-        return 1
-    print(f"coverage gate: {overall:.1f}% >= floor {args.floor:.1f}%")
-    return 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -4,11 +4,16 @@
 * :class:`CSHR` — comparison status holding registers (Section III-B/C).
 * :class:`TwoLevelAdmissionPredictor` — the HRT + PT predictor
   (Section III-A), with global-history and bimodal ablation variants.
-* :class:`ACICScheme` — the assembled mechanism (Figures 2-8).
+* :class:`ACICScheme` — the assembled mechanism (Figures 2-8), the
+  readable reference implementation.
+* :class:`FlatACICScheme` / :class:`FlatCSHR` — the array-backed fast
+  twins the scheme registry builds, locked bit-for-bit to the reference
+  by ``tests/test_acic_differential.py``.
 """
 
 from repro.core.controller import ACICScheme, ACICStats, AdmissionAudit
-from repro.core.cshr import CSHR, CSHREntry
+from repro.core.cshr import CSHR, CSHREntry, FlatCSHR
+from repro.core.flat import FlatACICScheme
 from repro.core.ifilter import IFilter
 from repro.core.predictor import (
     AdmissionPredictor,
@@ -24,6 +29,8 @@ __all__ = [
     "AdmissionAudit",
     "CSHR",
     "CSHREntry",
+    "FlatCSHR",
+    "FlatACICScheme",
     "IFilter",
     "AdmissionPredictor",
     "AlwaysAdmitPredictor",

@@ -19,6 +19,13 @@ Constructor flags expose every ablation in the paper: ``use_ifilter``
 only"), the predictor variants (global-history / bimodal), and the
 parallel-vs-instant PT update mode (Figure 14).  An optional
 ``audit_oracle`` records decision ground truth for Figures 12a/13.
+
+This module is the *readable reference*: the scheme registry builds the
+array-backed twin (:class:`repro.core.flat.FlatACICScheme`), which
+``tests/test_acic_differential.py`` locks bit-for-bit against this
+implementation over randomized schedules and the full variant grid.
+Keep the two in sync — a behavioural change lands here first, then in
+the flat controller, with the differential suite arbitrating.
 """
 
 from __future__ import annotations

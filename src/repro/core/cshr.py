@@ -138,3 +138,121 @@ class CSHR:
         for s in self._sets:
             s.clear()
         self.stats = CSHRStats()
+
+
+class FlatCSHR:
+    """Array-backed CSHR: parallel per-set tag lists instead of entries.
+
+    Same geometry and semantics as :class:`CSHR`, but each set is a pair
+    of parallel flat lists (victim tags, contender tags) kept in FIFO
+    order — no per-entry dataclass allocation, no attribute walks during
+    the search.  The flattened ACIC controller
+    (:class:`repro.core.flat.FlatACICScheme`) additionally inlines the
+    search over these lists; the methods here keep the structure usable
+    (and differentially testable) on its own.
+
+    API difference: where :class:`CSHR` traffics in :class:`CSHREntry`
+    objects, this class traffics in bare victim tags — ``insert``
+    returns the evicted entry's victim tag (or None) and ``search``
+    returns ``(victim_tag_match, [victim tags of contender matches])``.
+    The controller only ever consumed ``entry.victim_tag``, so the flat
+    forms carry exactly the information the naive ones did.
+    """
+
+    def __init__(
+        self,
+        entries: int = 256,
+        sets: int = 8,
+        tag_bits: int = 12,
+        icache_set_bits: int = 6,
+    ) -> None:
+        if entries % sets:
+            raise ValueError(f"{entries} entries not divisible into {sets} sets")
+        if sets.bit_length() - 1 > icache_set_bits:
+            raise ValueError(
+                f"{sets} CSHR sets need more selector bits than the "
+                f"{icache_set_bits}-bit i-cache set index provides"
+            )
+        self.entries = entries
+        self.sets = sets
+        self.ways = entries // sets
+        self.tag_bits = tag_bits
+        self._set_shift = icache_set_bits - (sets.bit_length() - 1)
+        # Parallel flat lists per set, FIFO order (index 0 = oldest).
+        self._victim_tags: List[List[int]] = [[] for _ in range(sets)]
+        self._contender_tags: List[List[int]] = [[] for _ in range(sets)]
+        self.stats = CSHRStats()
+
+    # -- indexing ----------------------------------------------------------------
+
+    def set_for(self, icache_set: int) -> int:
+        return icache_set >> self._set_shift
+
+    def tag_of(self, block: int) -> int:
+        return partial_tag(block, self.tag_bits)
+
+    # -- operations ----------------------------------------------------------------
+
+    def insert(
+        self, victim_block: int, contender_block: int, icache_set: int
+    ) -> Optional[int]:
+        """Open a comparison; returns the evicted entry's victim tag, if any."""
+        self.stats.inserts += 1
+        si = icache_set >> self._set_shift
+        vt = self._victim_tags[si]
+        ct = self._contender_tags[si]
+        evicted = None
+        if len(vt) >= self.ways:
+            evicted = vt.pop(0)
+            ct.pop(0)
+            self.stats.unresolved_evictions += 1
+        vt.append(self.tag_of(victim_block))
+        ct.append(self.tag_of(contender_block))
+        return evicted
+
+    def search(
+        self, block: int, icache_set: int
+    ) -> Tuple[Optional[int], List[int]]:
+        """Resolve comparisons for a fetched block (flat-tag form).
+
+        Returns ``(victim_match_tag, [victim tags of contender-matched
+        entries])`` with exactly the matching/invalidation semantics of
+        :meth:`CSHR.search`.
+        """
+        si = icache_set >> self._set_shift
+        vt = self._victim_tags[si]
+        if not vt:
+            return None, []
+        ct = self._contender_tags[si]
+        tag = self.tag_of(block)
+        if tag not in vt and tag not in ct:
+            return None, []
+        victim_match: Optional[int] = None
+        contender_victims: List[int] = []
+        new_vt: List[int] = []
+        new_ct: List[int] = []
+        for i, v in enumerate(vt):
+            c = ct[i]
+            if victim_match is None and v == tag:
+                victim_match = v
+                self.stats.victim_resolutions += 1
+            elif c == tag:
+                contender_victims.append(v)
+                self.stats.contender_resolutions += 1
+            else:
+                new_vt.append(v)
+                new_ct.append(c)
+        # In-place replacement keeps any cached outer references valid.
+        vt[:] = new_vt
+        ct[:] = new_ct
+        return victim_match, contender_victims
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._victim_tags)
+
+    def reset(self) -> None:
+        for s in self._victim_tags:
+            s.clear()
+        for s in self._contender_tags:
+            s.clear()
+        self.stats = CSHRStats()

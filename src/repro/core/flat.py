@@ -1,0 +1,306 @@
+"""Array-backed ACIC hot path: the registry's production controller.
+
+:class:`FlatACICScheme` is behaviourally identical to
+:class:`repro.core.controller.ACICScheme` — same constructor flags, same
+observable statistics, same admission decisions — but the per-record
+work is fused into one ``lookup`` body with no intermediate method
+dispatch:
+
+* CSHR comparisons resolve against :class:`~repro.core.cshr.FlatCSHR`'s
+  parallel tag lists, guarded by a C-speed membership test so the common
+  no-match transition costs two small list scans;
+* the i-Filter probe is the backing dict's pop/reinsert, inlined;
+* the i-cache probe reaches the per-set line dicts directly (the i-cache
+  policy is LRU, whose on-hit callback is a declared no-op);
+* repeat-block fetch groups skip the comparison search entirely, as the
+  naive controller already did — here the check is the first branch of
+  the fused body.
+
+The miss path (i-Filter fills, admission decisions, predictor training)
+keeps ordinary method calls: it runs orders of magnitude less often, and
+dynamic dispatch is what lets ablations swap predictors — including the
+registry's frozen-``train`` variant — without touching this module.
+
+``controller.py`` remains the readable reference;
+``tests/test_acic_differential.py`` locks this implementation to it over
+randomized schedules and the full registered-variant grid.  Set
+``REPRO_FLAT_ACIC=0`` to make the scheme registry build the naive
+controller instead (debugging; scalars are identical either way).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.bitops import L1I_SET_BITS, mask
+from repro.core.controller import ACICStats, AdmissionAudit
+from repro.core.cshr import FlatCSHR
+from repro.core.ifilter import IFilter
+from repro.core.predictor import AdmissionPredictor, TwoLevelAdmissionPredictor
+from repro.mem.cache import CacheConfig, SetAssociativeCache
+from repro.mem.oracle import NEVER, NextUseOracle
+from repro.mem.policies.lru import LRUPolicy
+
+#: Sentinel distinguishing "absent" from a stored ``None`` payload.
+_ABSENT = object()
+
+
+class FlatACICScheme:
+    """Admission-controlled i-cache on flat structures (fast twin)."""
+
+    name = "acic"
+
+    UNRESOLVED_POLICIES = ("victim", "contender", "none")
+
+    def __init__(
+        self,
+        icache_config: Optional[CacheConfig] = None,
+        predictor: Optional[AdmissionPredictor] = None,
+        ifilter_slots: int = 16,
+        cshr: Optional[FlatCSHR] = None,
+        tag_bits: int = 12,
+        use_ifilter: bool = True,
+        always_insert: bool = False,
+        unresolved_policy: str = "victim",
+        audit_oracle: Optional[NextUseOracle] = None,
+    ) -> None:
+        if unresolved_policy not in self.UNRESOLVED_POLICIES:
+            raise ValueError(
+                f"unresolved_policy must be one of {self.UNRESOLVED_POLICIES}, "
+                f"got {unresolved_policy!r}"
+            )
+        self.config = icache_config or CacheConfig(32 * 1024, 8, name="L1i")
+        self.icache = SetAssociativeCache(self.config, LRUPolicy())
+        self.predictor = predictor or TwoLevelAdmissionPredictor(tag_bits=tag_bits)
+        self.use_ifilter = use_ifilter
+        self.always_insert = always_insert
+        self.ifilter = IFilter(ifilter_slots) if use_ifilter else None
+        self.cshr = cshr or FlatCSHR(
+            tag_bits=tag_bits, icache_set_bits=self.config.set_index_bits
+        )
+        self.tag_bits = tag_bits
+        self.unresolved_policy = unresolved_policy
+        self.audit_oracle = audit_oracle
+        self.audit = AdmissionAudit() if audit_oracle is not None else None
+        self.stats = ACICStats()
+        self._last_resolved_block = -1
+        self._rebind()
+
+    def _rebind(self) -> None:
+        """(Re)capture the flat internals the fused paths index directly.
+
+        Everything cached here is mutated in place by the owning objects
+        (the i-cache policy is LRU, which never rebuilds a set's dict),
+        except the stats objects, which ``reset`` replaces — hence this
+        runs after construction and after every reset.
+        """
+        self._ic_stats = self.icache.stats
+        self._ic_lines = [s._lines for s in self.icache._sets]
+        self._ic_set_mask = self.icache._set_mask
+        if self.ifilter is not None:
+            self._if_lines = self.ifilter._buffer._lines
+            self._if_stats = self.ifilter.stats
+            self._if_slots = self.ifilter.slots
+        else:
+            self._if_lines = None
+            self._if_stats = None
+            self._if_slots = 0
+        self._ic_ways = self.config.ways
+        self._cshr_vt = self.cshr._victim_tags
+        self._cshr_ct = self.cshr._contender_tags
+        self._cshr_stats = self.cshr.stats
+        self._cshr_shift = self.cshr._set_shift
+        self._cshr_ways = self.cshr.ways
+        self._cshr_tag_mask = mask(self.cshr.tag_bits)
+        self._tag_mask = mask(self.tag_bits)
+
+    # -- CSHR resolution (cold half) -------------------------------------------
+
+    def _resolve_matches(self, vt, ct, tag: int, cycle: int) -> None:
+        """Settle the matched entries of one CSHR set (tag is known present).
+
+        Training order matches the naive controller: the victim match
+        (at most one) first, then contender matches in entry order.
+        """
+        victim_found = False
+        contender_victims = []
+        new_vt = []
+        new_ct = []
+        for i, v in enumerate(vt):
+            c = ct[i]
+            if not victim_found and v == tag:
+                victim_found = True
+            elif c == tag:
+                contender_victims.append(v)
+            else:
+                new_vt.append(v)
+                new_ct.append(c)
+        if not victim_found and not contender_victims:
+            return
+        vt[:] = new_vt
+        ct[:] = new_ct
+        stats = self._cshr_stats
+        train = self.predictor.train
+        if victim_found:
+            stats.victim_resolutions += 1
+            train(tag, True, cycle)
+        if contender_victims:
+            stats.contender_resolutions += len(contender_victims)
+            for v in contender_victims:
+                train(v, False, cycle)
+
+    # -- admission (miss path) -------------------------------------------------
+
+    def _icache_fill(self, block: int) -> None:
+        """Demand fill with the LRU policy inlined.
+
+        Semantics of :meth:`SetAssociativeCache.fill` specialised to the
+        LRU policy this scheme always installs: the victim is the
+        recency head, no bypass, all policy callbacks are no-ops, and an
+        already-present block is just re-promoted (no fill counted).
+        """
+        lines = self._ic_lines[block & self._ic_set_mask]
+        if block in lines:
+            del lines[block]
+            lines[block] = None  # promote to MRU
+            return
+        stats = self._ic_stats
+        if len(lines) >= self._ic_ways:
+            victim = next(iter(lines))
+            del lines[victim]
+            stats.evictions += 1
+        lines[block] = None
+        stats.demand_fills += 1
+
+    def _admission_decision(self, victim: int, t: int, cycle: int) -> None:
+        lines = self._ic_lines[victim & self._ic_set_mask]
+        if len(lines) < self._ic_ways:
+            # Free way available: no contender, no comparison to learn from.
+            self._icache_fill(victim)
+            self.stats.free_way_fills += 1
+            return
+        contender = next(iter(lines))  # the LRU line (dict head)
+
+        victim_tag = (victim >> L1I_SET_BITS) & self._tag_mask
+        if self.always_insert:
+            admit = True
+        else:
+            admit = self.predictor.predict(victim_tag, cycle)
+        self.stats.victims_considered += 1
+        if admit:
+            self.stats.victims_admitted += 1
+
+        if self.audit is not None:
+            oracle = self.audit_oracle
+            d_v = oracle.next_use_of(victim, t)
+            d_c = oracle.next_use_of(contender, t)
+            self.audit.admitted.append(admit)
+            self.audit.victim_distance.append(
+                NEVER if d_v >= NEVER else d_v - t
+            )
+            self.audit.contender_distance.append(
+                NEVER if d_c >= NEVER else d_c - t
+            )
+
+        if admit:
+            self._icache_fill(victim)
+
+        # Open the comparison regardless of the decision (inlined
+        # FlatCSHR.insert): the predictor learns from the outcome either
+        # way.
+        si = (victim & self._ic_set_mask) >> self._cshr_shift
+        vt = self._cshr_vt[si]
+        ct = self._cshr_ct[si]
+        cshr_stats = self._cshr_stats
+        cshr_stats.inserts += 1
+        evicted = None
+        if len(vt) >= self._cshr_ways:
+            evicted = vt.pop(0)
+            ct.pop(0)
+            cshr_stats.unresolved_evictions += 1
+        cshr_tag_mask = self._cshr_tag_mask
+        vt.append((victim >> L1I_SET_BITS) & cshr_tag_mask)
+        ct.append((contender >> L1I_SET_BITS) & cshr_tag_mask)
+        if evicted is not None and self.unresolved_policy != "none":
+            self.predictor.train(
+                evicted, self.unresolved_policy == "victim", cycle
+            )
+            self.stats.benefit_of_doubt_trainings += 1
+
+    # -- L1I scheme protocol (fused hot path) ----------------------------------
+
+    def lookup(self, block: int, t: int, cycle: int) -> bool:
+        if block != self._last_resolved_block:
+            self._last_resolved_block = block
+            si = (block & self._ic_set_mask) >> self._cshr_shift
+            vt = self._cshr_vt[si]
+            if vt:
+                ct = self._cshr_ct[si]
+                tag = (block >> L1I_SET_BITS) & self._cshr_tag_mask
+                if tag in vt or tag in ct:
+                    self._resolve_matches(vt, ct, tag, cycle)
+        if_lines = self._if_lines
+        if if_lines is not None:
+            if_stats = self._if_stats
+            if_stats.lookups += 1
+            value = if_lines.pop(block, _ABSENT)
+            if value is not _ABSENT:
+                if_lines[block] = value  # refresh recency (MRU)
+                if_stats.hits += 1
+                return True
+        ic_stats = self._ic_stats
+        ic_stats.demand_accesses += 1
+        lines = self._ic_lines[block & self._ic_set_mask]
+        value = lines.pop(block, _ABSENT)
+        if value is _ABSENT:
+            return False
+        lines[block] = value
+        ic_stats.demand_hits += 1
+        return True
+
+    def fill(self, block: int, t: int, cycle: int) -> None:
+        self._fill(block, t, cycle)
+
+    def prefetch_fill(self, block: int, t: int, cycle: int) -> None:
+        self._fill(block, t, cycle)
+
+    def _fill(self, block: int, t: int, cycle: int) -> None:
+        if_lines = self._if_lines
+        if if_lines is None:
+            self._admission_decision(block, t, cycle)
+            return
+        if_stats = self._if_stats
+        if_stats.fills += 1
+        if block in if_lines:
+            del if_lines[block]
+            if_lines[block] = None  # reinsert at MRU
+            return
+        if len(if_lines) >= self._if_slots:
+            victim = next(iter(if_lines))
+            del if_lines[victim]
+            if_lines[block] = None
+            if_stats.victims += 1
+            self._admission_decision(victim, t, cycle)
+        else:
+            if_lines[block] = None
+
+    def contains(self, block: int) -> bool:
+        if_lines = self._if_lines
+        if if_lines is not None and block in if_lines:
+            return True
+        return block in self._ic_lines[block & self._ic_set_mask]
+
+    @property
+    def demand_stats(self):
+        return self.icache.stats
+
+    def reset(self) -> None:
+        self.icache.reset()
+        if self.ifilter is not None:
+            self.ifilter.reset()
+        self.cshr.reset()
+        self.predictor.reset()
+        self.stats = ACICStats()
+        self.audit = AdmissionAudit() if self.audit_oracle is not None else None
+        self._last_resolved_block = -1
+        self._rebind()

@@ -28,7 +28,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Tuple
 
-from repro.common.bitops import fold_hash, mask
+from repro.common.bitops import _GOLDEN64, _MASK64, fold_hash, mask
 
 
 @dataclass
@@ -96,6 +96,11 @@ class TwoLevelAdmissionPredictor(AdmissionPredictor):
         self._queues: List[Deque[Tuple[int, bool]]] = [
             deque() for _ in range(1 << history_bits)
         ]
+        # Hot-path precomputation: the fold_hash shift (inlined in
+        # predict/train) and a count of queued-but-unapplied PT updates
+        # so predict can skip the all-queues drain walk when idle.
+        self._hash_shift = 64 - self.hrt_bits
+        self._queued = 0
         self.stats = AdmissionStats()
 
     # -- indexing -------------------------------------------------------------
@@ -113,23 +118,28 @@ class TwoLevelAdmissionPredictor(AdmissionPredictor):
         caller may advance many cycles between calls, so we drain every
         ready update.
         """
+        pt = self.pt
+        counter_max = self.counter_max
         for idx, queue in enumerate(self._queues):
             while queue and queue[0][0] <= now:
                 _, up = queue.popleft()
-                value = self.pt[idx]
+                self._queued -= 1
+                value = pt[idx]
                 if up:
-                    if value < self.counter_max:
-                        self.pt[idx] = value + 1
+                    if value < counter_max:
+                        pt[idx] = value + 1
                 elif value > 0:
-                    self.pt[idx] = value - 1
+                    pt[idx] = value - 1
 
     # -- AdmissionPredictor interface -----------------------------------------------
 
     def predict(self, victim_ptag: int, now: int = 0) -> bool:
-        if self.update_mode == "parallel":
+        if self._queued and self.update_mode == "parallel":
             self._drain(now)
         self.stats.predictions += 1
-        history = self.hrt[self._hrt_index(victim_ptag)]
+        history = self.hrt[
+            ((victim_ptag * _GOLDEN64) & _MASK64) >> self._hash_shift
+        ]
         admit = self.pt[history] >= self.threshold
         if admit:
             self.stats.admits += 1
@@ -137,7 +147,7 @@ class TwoLevelAdmissionPredictor(AdmissionPredictor):
 
     def train(self, victim_ptag: int, victim_won: bool, now: int = 0) -> None:
         self.stats.trainings += 1
-        hrt_index = self._hrt_index(victim_ptag)
+        hrt_index = ((victim_ptag * _GOLDEN64) & _MASK64) >> self._hash_shift
         history = self.hrt[hrt_index]
         if self.update_mode == "instant":
             value = self.pt[history]
@@ -155,6 +165,7 @@ class TwoLevelAdmissionPredictor(AdmissionPredictor):
                 # queue backlog (one retire per cycle per entry).
                 ready = now + self.update_latency + len(queue)
                 queue.append((ready, victim_won))
+                self._queued += 1
         # History shifts after its value was handed to the PT updater.
         self.hrt[hrt_index] = (
             (history << 1) | (1 if victim_won else 0)
@@ -165,6 +176,7 @@ class TwoLevelAdmissionPredictor(AdmissionPredictor):
         self.pt = [self.threshold] * len(self.pt)
         for queue in self._queues:
             queue.clear()
+        self._queued = 0
         self.stats = AdmissionStats()
 
 

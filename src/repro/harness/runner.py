@@ -16,6 +16,16 @@ Set ``REPRO_NO_DISK_CACHE=1`` to disable the disk layer (tests do).
 simulate and return the scalar measurements, the parent stores them in
 both cache layers.  Cache hits are resolved in the parent and never
 fork a worker, so a warm sweep costs the same as before.
+
+Workers are *resident*: a pool initializer installs the sweep's
+(prefetcher, records, machine) configuration once per process, and each
+worker keeps one :class:`SchemeContext` per workload — the trace
+(memory-mapped from its ``.mmap`` sidecar), the lazily-built oracle and
+the memoised frontend plan are loaded at most once per worker, no
+matter how many schemes the sweep pushes through that workload.
+Pending pairs are dispatched workload-major (sorted by workload, then
+scheme) so consecutive tasks land on whatever worker already has that
+workload resident.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict
 from pathlib import Path
@@ -72,22 +83,65 @@ def _default_jobs() -> int:
     return 1
 
 
-def _sweep_worker(
-    payload: Tuple[str, str, str, int, MachineParams],
-) -> Tuple[str, str, Dict[str, object]]:
-    """Simulate one (workload, scheme) pair in a worker process.
+#: Per-process resident sweep state: the configuration the pool
+#: initializer installs plus one SchemeContext per workload seen, so a
+#: worker deserializes each workload's trace/plan/oracle at most once.
+_WORKER_STATE: Dict[str, object] = {}
+
+#: Resident contexts kept per worker.  Workload-major dispatch means a
+#: worker is almost always on one workload with occasional overlap at
+#: boundaries; a small LRU bound keeps traces/oracles of long-finished
+#: workloads from pinning memory for the pool's lifetime.
+_WORKER_CONTEXT_CAP = 2
+
+
+def _sweep_worker_init(
+    prefetcher: str, records: int, machine: MachineParams
+) -> None:
+    """Install the sweep configuration in a freshly-spawned worker."""
+    _WORKER_STATE["prefetcher"] = prefetcher
+    _WORKER_STATE["records"] = records
+    _WORKER_STATE["machine"] = machine
+    _WORKER_STATE["contexts"] = OrderedDict()
+
+
+def _worker_context(workload: str) -> SchemeContext:
+    """This worker's resident context for ``workload``.
+
+    Built at most once per residency: the small LRU bound only evicts a
+    workload the dispatch order has moved past, so the
+    one-deserialization-per-worker property holds for workload-major
+    sweeps while memory stays bounded for arbitrary ones.
+    """
+    contexts: "OrderedDict[str, SchemeContext]" = _WORKER_STATE["contexts"]
+    ctx = contexts.get(workload)
+    if ctx is None:
+        trace = get_workload(workload).trace(records=_WORKER_STATE["records"])
+        ctx = SchemeContext(trace=trace, machine=_WORKER_STATE["machine"])
+        contexts[workload] = ctx
+        while len(contexts) > _WORKER_CONTEXT_CAP:
+            contexts.popitem(last=False)
+    else:
+        contexts.move_to_end(workload)
+    return ctx
+
+
+def _sweep_worker(pair: Tuple[str, str]) -> Tuple[str, str, Dict[str, object]]:
+    """Simulate one (workload, scheme) pair in a resident worker process.
 
     Runs uncached (the parent already filtered cache hits) and returns
     only the scalar measurements — live scheme objects don't cross the
-    process boundary.
+    process boundary.  The trace/oracle context and the memoised
+    frontend plan persist in the worker across pairs.
     """
-    workload, scheme, prefetcher, records, machine = payload
+    workload, scheme = pair
     run = run_experiment(
         workload,
         scheme,
-        prefetcher=prefetcher,
-        records=records,
-        machine=machine,
+        prefetcher=_WORKER_STATE["prefetcher"],
+        records=_WORKER_STATE["records"],
+        machine=_WORKER_STATE["machine"],
+        context=_worker_context(workload),
     ).run
     return workload, scheme, {k: getattr(run, k) for k in _SCALAR_FIELDS}
 
@@ -145,10 +199,15 @@ class Runner:
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {k: getattr(run, k) for k in _SCALAR_FIELDS}
         # Write-then-rename so concurrent readers never observe a
-        # partial entry (and never mistake one for corruption).
+        # partial entry (and never mistake one for corruption).  The
+        # finally-unlink reaps the temp file if the write (or rename)
+        # raises; after a successful rename it no longer exists.
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(payload))
-        os.replace(tmp, path)
+        try:
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     def _cached(
         self, workload: str, scheme: str, *, allow_disk: bool = True
@@ -253,26 +312,28 @@ class Runner:
             raise ValueError(f"jobs must be positive, got {jobs}")
         pairs = [(w, s) for w in workloads for s in schemes]
 
-        pending = [
+        pending = sorted(
             (w, s)
             for w, s in dict.fromkeys(pairs)  # dedupe repeated inputs
             if self._cached(w, s) is None
-        ]
+        )
+        # Workload-major dispatch order (sorted by workload, then
+        # scheme): consecutive tasks share a workload, so resident
+        # workers keep reusing the trace/plan/oracle they already hold
+        # instead of faulting a new workload in per pair.
         if jobs > 1 and len(pending) > 1:
             # Build (and disk-cache) each pending workload's trace and
-            # frontend plan in the parent first: workers then load the
-            # .npz files instead of racing to redo the same trace
+            # frontend plan in the parent first: workers then mmap the
+            # sidecars instead of racing to redo the same trace
             # generation and branch-stack/FDP replay N times.
             for workload in sorted({w for w, _ in pending}):
                 self.context_for(workload)
-            payloads = [
-                (w, s, self.prefetcher, self.records, self.machine)
-                for w, s in pending
-            ]
             with ProcessPoolExecutor(
-                max_workers=min(jobs, len(payloads))
+                max_workers=min(jobs, len(pending)),
+                initializer=_sweep_worker_init,
+                initargs=(self.prefetcher, self.records, self.machine),
             ) as pool:
-                futures = [pool.submit(_sweep_worker, p) for p in payloads]
+                futures = [pool.submit(_sweep_worker, p) for p in pending]
                 for future in as_completed(futures):
                     workload, scheme, scalars = future.result()
                     self._admit(workload, scheme, RunResult(**scalars))

@@ -40,10 +40,20 @@ from repro.workloads.profiles import get_workload
 from repro.workloads.trace import Trace
 
 #: The fixed grid: one representative datacenter trace, the baseline
-#: scheme (the ≥2.5x target), the paper's contribution (the ≥1.5x
-#: target), and the slowest policy competitors as canaries.
+#: scheme, the paper's contribution, the slowest policy competitors as
+#: canaries, and two ACIC ablation variants so scheme-layer (admission
+#: pipeline) wins are tracked separately from engine wins.
 DEFAULT_WORKLOAD = "media-streaming"
-DEFAULT_SCHEMES = ("lru", "acic", "opt", "srrip", "ghrp", "harmony")
+DEFAULT_SCHEMES = (
+    "lru",
+    "acic",
+    "opt",
+    "srrip",
+    "ghrp",
+    "harmony",
+    "acic-nofilter",
+    "acic-bimodal",
+)
 DEFAULT_RECORDS = 20_000
 
 #: Scalars that must be bit-identical across engine optimisations.

@@ -10,6 +10,8 @@ bypass via ``REPRO_NO_DISK_CACHE``).
 from __future__ import annotations
 
 import json
+import os
+from collections import Counter
 
 import pytest
 
@@ -81,6 +83,20 @@ class TestDiskCacheRoundTrip:
         live = reader.run_live(WORKLOAD, "acic")
         assert live.scheme is not None
 
+    def test_store_failure_leaves_no_tmp_file(self, cache_dir):
+        """A failing write must not leak the write-then-rename temp file."""
+        runner = Runner(records=RECORDS, use_disk_cache=True)
+        run = runner.run(WORKLOAD, "lru")
+        broken = type(run)(
+            **{
+                **{k: getattr(run, k) for k in _SCALAR_FIELDS},
+                "cycles": object(),  # json.dumps chokes on this
+            }
+        )
+        with pytest.raises(TypeError):
+            runner._store_disk(WORKLOAD, "broken", broken)
+        assert not list(cache_dir.glob("*.tmp"))
+
 
 class TestSweep:
     WORKLOADS = (WORKLOAD, "gcc")
@@ -121,6 +137,41 @@ class TestSweep:
         warm = reader.sweep(self.WORKLOADS, self.SCHEMES, jobs=8)
         for key in expected:
             assert _scalars(warm[key]) == _scalars(expected[key])
+
+    def test_resident_workers_deserialize_each_trace_once(
+        self, cache_dir, tmp_path, monkeypatch
+    ):
+        """Sweep workers load each workload's trace at most once.
+
+        The pool initializer makes workers resident: one SchemeContext
+        per workload per process, traces served from mmap sidecars.
+        REPRO_TRACE_LOAD_LOG records one (pid, key) line per actual
+        trace deserialization; with 3 schemes per workload a per-pair
+        loader would log each workload up to 3x per worker.
+        """
+        trace_cache = tmp_path / "traces"
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(trace_cache))
+        monkeypatch.setenv("REPRO_PLAN_CACHE", str(tmp_path / "plans"))
+        log = tmp_path / "trace-loads.log"
+        monkeypatch.setenv("REPRO_TRACE_LOAD_LOG", str(log))
+
+        workloads = (WORKLOAD, "gcc")
+        schemes = ("lru", "srrip", "acic")
+        runner = Runner(records=RECORDS, use_disk_cache=True)
+        results = runner.sweep(workloads, schemes, jobs=2)
+        assert len(results) == 6
+
+        loads = Counter()
+        for line in log.read_text().splitlines():
+            pid, key = line.split(" ", 1)
+            loads[(int(pid), key)] += 1
+        assert loads, "no trace loads were logged"
+        # Every process — parent and each worker — deserialized each
+        # workload's trace at most once (parent: prewarm; workers:
+        # resident context built on first pair of that workload).
+        assert max(loads.values()) == 1
+        worker_pids = {pid for pid, _ in loads} - {os.getpid()}
+        assert worker_pids, "sweep did not fan out to worker processes"
 
     def test_jobs_env_default(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "2")
