@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Line-coverage floors for the memory and ACIC-core subsystems, stdlib-only.
+"""Line-coverage floors for the mem, core and frontend subsystems, stdlib-only.
 
 Usage::
 
@@ -11,9 +11,10 @@ Usage::
 Runs a subsystem-focused pytest selection under the stdlib ``trace``
 module (no ``coverage``/``pytest-cov`` dependency) and fails when the
 aggregate executed-line fraction of any target directory — by default
-both ``src/repro/mem`` and ``src/repro/core`` — drops below the floor.
-CI runs this after the tier-1 suite so a PR cannot silently orphan the
-MSHR/hierarchy/policy or i-Filter/CSHR/predictor/controller code paths
+``src/repro/mem``, ``src/repro/core`` and ``src/repro/frontend`` —
+drops below the floor.  CI runs this after the tier-1 suite so a PR
+cannot silently orphan the MSHR/hierarchy/policy, i-Filter/CSHR/
+predictor/controller, or branch-stack/FDP/entangling/plan code paths
 the differential harnesses exist to pin.
 
 The default test selection deliberately excludes the large
@@ -48,11 +49,16 @@ DEFAULT_PYTEST_ARGS = [
     "tests/test_mshr_differential.py",
     "tests/test_acic_core.py",
     "tests/test_acic_differential.py",
-    "-k", "not 20k and not Simulate and not conservation",
+    "tests/test_frontend.py",
+    "tests/test_frontend_plan.py",
+    "tests/test_entangling_table.py",
+    "tests/test_entangling_plan.py",
+    "-k", "not 20k and not Simulate and not conservation"
+    " and not all_workload_profiles",
 ]
 
 #: Directories the floor applies to when no --target is given.
-DEFAULT_TARGETS = ["src/repro/mem", "src/repro/core"]
+DEFAULT_TARGETS = ["src/repro/mem", "src/repro/core", "src/repro/frontend"]
 
 
 def _code_lines(code: types.CodeType) -> set[int]:

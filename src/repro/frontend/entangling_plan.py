@@ -1,0 +1,543 @@
+"""Two-pass entangling plans: record the training stream once, replay it.
+
+The entangling prefetcher is the one frontend component a
+:class:`~repro.frontend.plan.FrontendPlan` cannot cover: its table
+trains on *live miss timing* (which records miss, and at what cycle),
+and both depend on the L1i scheme under test.  A sweep that keeps
+entangling live pays the full per-record frontend — deque scans on
+every miss, LRU-table probes on every fetch — for every (workload,
+scheme) pair, while fdp/none schemes replay flat arrays.
+
+This module closes that gap with a *scheme-coupled* two-pass plan:
+
+* **Pass 1 (record)** — one live reference run per (workload, machine,
+  reference scheme).  A :class:`RecordingEntanglingPrefetcher` rides
+  along and captures the table's full training stream as flat arrays:
+
+  - ``miss_rec`` / ``miss_cycle`` — the record index and cycle of every
+    demand miss the reference scheme took (the table's training inputs);
+  - ``ent_src`` / ``ent_dst`` — every source->destination entangling the
+    table formed, in formation order;
+  - ``cand_blocks`` + ``cand_lo``/``cand_hi`` — the prefetch issue
+    stream: the candidates offered while fetch sat at record ``i`` are
+    ``cand_blocks[cand_lo[i]:cand_hi[i]]`` (the plan's own flat
+    candidate array — unlike FDP spans, entangled destinations are not
+    slices of the trace's future path).
+
+* **Pass 2 (replay)** — the engine's existing planned loop
+  (:func:`repro.uarch.timing.simulate` with ``plan=``) consumes the
+  recorded candidate stream through the same
+  ``mispredict``/``cand_lo``/``cand_hi`` interface a FrontendPlan
+  exposes; the mispredict stream itself is *scheme-independent*
+  (entangling never queries the branch stack), so the plan composes
+  with the cached ``"none"`` FrontendPlan rather than duplicating its
+  arrays.
+
+Because the recorded stream is scheme-coupled, the plan has an explicit
+equivalence story, selected by ``REPRO_ENTANGLING_PLAN``:
+
+* ``exact`` (default) — a plan is only replayed for the scheme it was
+  recorded under.  The replay is **bit-identical** to the live path
+  (the engine filters the same raw candidate stream against identical
+  scheme/MSHR state; pinned by ``tests/test_entangling_plan.py``), and
+  the recording run itself *is* the first result — so a cold run costs
+  one live simulation, exactly as before, and every warm run is a fast
+  flat-array replay.
+* ``approx`` — cross-scheme sweeps share one training run: every
+  scheme replays the stream recorded under
+  :data:`ENTANGLING_REFERENCE_SCHEME`.  Miss timing under the consumer
+  scheme differs from the reference, so scalars are *approximate*
+  (drift is bounded by tests; the sweep-result cache keys approx
+  entries separately so they can never be mistaken for exact ones).
+* ``off`` — the pre-plan behaviour: every entangling run is live.
+
+Plans are cached like FrontendPlans: in-process memo, then
+``<workload>.<fingerprint>.ent.npz`` under the plan cache dir, plus an
+uncompressed ``.mmap/`` sidecar served via ``np.load(mmap_mode="r")``
+so resident sweep workers share one page cache.  The fingerprint covers
+the trace content digest, the *whole* machine configuration (recorded
+timing depends on all of it), the reference scheme name, the entangling
+table geometry and the branch-stack geometry; any mismatch discards and
+rebuilds the entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import re
+import shutil
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from functools import cached_property
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.frontend.entangling import EntanglingPrefetcher
+from repro.frontend.plan import (
+    FrontendPlan,
+    _mmap_enabled,
+    _stack_geometry,
+    build_plan,
+    cached_plan,
+    mmap_sidecar_path,
+    plan_cache_dir,
+    read_sidecar_dir,
+    write_sidecar_dir,
+)
+from repro.frontend.stack import BranchStack
+from repro.uarch.params import MachineParams
+from repro.workloads.trace import Trace
+
+#: Bump when the array layout or replay semantics change; stale cache
+#: entries then miss on fingerprint and are rebuilt.
+ENTANGLING_PLAN_FORMAT = 1
+
+#: The scheme whose training stream approx-mode sweeps share.  LRU is
+#: the paper's baseline and the scheme every figure normalises against.
+ENTANGLING_REFERENCE_SCHEME = "lru"
+
+#: The plan's bulk arrays, in the order the mmap sidecar stores them.
+ENTANGLING_ARRAY_FIELDS = (
+    "cand_blocks",
+    "cand_lo",
+    "cand_hi",
+    "miss_rec",
+    "miss_cycle",
+    "ent_src",
+    "ent_dst",
+)
+
+#: Reference-run scalars embedded in the plan (drift measurement and
+#: equivalence tests read these without re-running pass 1).
+REF_SCALAR_FIELDS = (
+    "instructions",
+    "accesses",
+    "cycles",
+    "demand_misses",
+    "late_prefetch_misses",
+    "prefetches_issued",
+    "mispredicted_transitions",
+)
+
+_MODES = ("exact", "approx", "off")
+_MODE_ALIASES = {"": "exact", "1": "exact", "0": "off"}
+
+
+def entangling_plan_mode() -> str:
+    """The entangling-plan mode from ``REPRO_ENTANGLING_PLAN``.
+
+    ``exact`` (default) | ``approx`` | ``off``; ``1``/``0`` alias
+    exact/off.  Unknown values raise rather than silently running a
+    different equivalence contract than the caller asked for.
+    """
+    raw = os.environ.get("REPRO_ENTANGLING_PLAN", "exact").strip().lower()
+    mode = _MODE_ALIASES.get(raw, raw)
+    if mode not in _MODES:
+        raise ValueError(
+            f"REPRO_ENTANGLING_PLAN={raw!r} not understood; "
+            f"expected one of {_MODES}"
+        )
+    return mode
+
+
+class RecordingEntanglingPrefetcher(EntanglingPrefetcher):
+    """An :class:`EntanglingPrefetcher` that logs its training stream.
+
+    Overrides the three observation points — :meth:`on_demand_miss`
+    (miss timing), :meth:`_entangle` (pairs actually formed) and
+    :meth:`candidates` (the issue stream) — to append to flat Python
+    lists, then delegates to the real implementation, so the recorded
+    run's behaviour is bit-identical to an unrecorded live run.
+
+    The record index of a miss is inferred rather than passed in: the
+    engine calls :meth:`candidates` exactly once per record, *after*
+    miss handling, so at the time of a miss the number of candidate
+    calls made so far equals the current record index.
+    """
+
+    def __init__(self, trace: Trace, **kwargs) -> None:
+        super().__init__(trace, **kwargs)
+        self.rec_cand_blocks: List[int] = []
+        self.rec_cand_lo: List[int] = []
+        self.rec_cand_hi: List[int] = []
+        self.rec_miss_rec: List[int] = []
+        self.rec_miss_cycle: List[int] = []
+        self.rec_ent_src: List[int] = []
+        self.rec_ent_dst: List[int] = []
+
+    def on_demand_miss(self, block: int, cycle: int) -> None:
+        self.rec_miss_rec.append(len(self.rec_cand_lo))
+        self.rec_miss_cycle.append(cycle)
+        super().on_demand_miss(block, cycle)
+
+    def _entangle(self, source: int, block: int) -> None:
+        before = self.stats.entangled
+        super()._entangle(source, block)
+        if self.stats.entangled != before:
+            self.rec_ent_src.append(source)
+            self.rec_ent_dst.append(block)
+
+    def candidates(self, i: int) -> List[int]:
+        out = super().candidates(i)
+        lo = len(self.rec_cand_blocks)
+        if out:
+            self.rec_cand_blocks.extend(out)
+        self.rec_cand_lo.append(lo)
+        self.rec_cand_hi.append(len(self.rec_cand_blocks))
+        return out
+
+
+@dataclass
+class EntanglingPlan:
+    """Recorded entangling training stream for one (trace, machine, scheme).
+
+    Exposes the same replay interface as
+    :class:`~repro.frontend.plan.FrontendPlan` (``mispredict_list``,
+    ``cand_lo_list``/``cand_hi_list``, ``candidate_blocks_list``,
+    ``mispredicted_after_warmup``), so the engine's planned loop drives
+    either without branching.  The mispredict stream is delegated to
+    ``base`` — the trace's cached ``"none"`` FrontendPlan — because
+    entangling never queries the branch stack, making branch verdicts
+    scheme-independent even in entangling runs.
+    """
+
+    trace_name: str
+    trace_digest: str
+    scheme: str              #: reference scheme the stream was recorded under
+    machine_fingerprint: str
+    warmup_end: int
+    fingerprint: str
+    ref_scalars: Dict[str, float]
+    cand_blocks: np.ndarray  # int64, total issued candidates
+    cand_lo: np.ndarray      # int64, n (span starts into cand_blocks)
+    cand_hi: np.ndarray      # int64, n (half-open span ends)
+    miss_rec: np.ndarray     # int64, one per reference demand miss
+    miss_cycle: np.ndarray   # int64, cycle of each reference demand miss
+    ent_src: np.ndarray      # int64, entangling sources, formation order
+    ent_dst: np.ndarray      # int64, entangling destinations
+    base: FrontendPlan = field(repr=False)  #: mispredict stream provider
+
+    def __len__(self) -> int:
+        return len(self.cand_lo)
+
+    @property
+    def prefetcher(self) -> str:
+        return "entangling"
+
+    # -- replay interface (FrontendPlan-compatible) -------------------------
+
+    @property
+    def mispredict_list(self) -> List[int]:
+        return self.base.mispredict_list
+
+    @cached_property
+    def cand_lo_list(self) -> List[int]:
+        return self.cand_lo.tolist()
+
+    @cached_property
+    def cand_hi_list(self) -> List[int]:
+        return self.cand_hi.tolist()
+
+    @cached_property
+    def _cand_blocks_list(self) -> List[int]:
+        return self.cand_blocks.tolist()
+
+    def candidate_blocks_list(self, trace: Trace) -> List[int]:
+        """The recorded candidate stream the replay spans index into."""
+        return self._cand_blocks_list
+
+    def mispredicted_after_warmup(self) -> int:
+        return self.base.mispredicted_after_warmup()
+
+    # -- persistence --------------------------------------------------------
+
+    def _meta(self) -> Dict[str, object]:
+        return {
+            "format": ENTANGLING_PLAN_FORMAT,
+            "fingerprint": self.fingerprint,
+            "trace_name": self.trace_name,
+            "trace_digest": self.trace_digest,
+            "scheme": self.scheme,
+            "machine_fingerprint": self.machine_fingerprint,
+            "warmup_end": self.warmup_end,
+            "records": len(self),
+            "ref_scalars": self.ref_scalars,
+        }
+
+    def save(self, path: Path) -> None:
+        """Write the ``.ent.npz`` plus its mmap sidecar (write-then-rename).
+
+        The finally-unlink reaps the temp file if the write (or rename)
+        raises; after a successful rename it no longer exists.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")
+        try:
+            np.savez_compressed(
+                tmp,
+                meta=np.bytes_(
+                    json.dumps(self._meta(), sort_keys=True).encode()
+                ),
+                **{
+                    name: getattr(self, name)
+                    for name in ENTANGLING_ARRAY_FIELDS
+                },
+            )
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self.write_mmap_sidecar(mmap_sidecar_path(path))
+
+    def write_mmap_sidecar(self, dirpath: Path) -> None:
+        write_sidecar_dir(
+            dirpath,
+            {name: getattr(self, name) for name in ENTANGLING_ARRAY_FIELDS},
+            self._meta(),
+        )
+
+    @classmethod
+    def _from_parts(
+        cls,
+        meta: Dict[str, object],
+        arrays: Dict[str, np.ndarray],
+        base: FrontendPlan,
+    ) -> "EntanglingPlan":
+        if int(meta["format"]) != ENTANGLING_PLAN_FORMAT:
+            raise ValueError(
+                f"entangling plan format {meta['format']} != "
+                f"{ENTANGLING_PLAN_FORMAT}"
+            )
+        n = int(meta["records"])
+        if len(arrays["cand_lo"]) != n or len(arrays["cand_hi"]) != n:
+            raise ValueError("inconsistent entangling plan span lengths")
+        total = int(arrays["cand_hi"][-1]) if n else 0
+        if (
+            len(arrays["cand_blocks"]) != total
+            or len(arrays["miss_rec"]) != len(arrays["miss_cycle"])
+            or len(arrays["ent_src"]) != len(arrays["ent_dst"])
+        ):
+            raise ValueError("inconsistent entangling plan array lengths")
+        if len(base) != n or base.warmup_end != int(meta["warmup_end"]):
+            raise ValueError("entangling plan does not match its base plan")
+        return cls(
+            trace_name=str(meta["trace_name"]),
+            trace_digest=str(meta["trace_digest"]),
+            scheme=str(meta["scheme"]),
+            machine_fingerprint=str(meta["machine_fingerprint"]),
+            warmup_end=int(meta["warmup_end"]),
+            fingerprint=str(meta["fingerprint"]),
+            ref_scalars=dict(meta["ref_scalars"]),
+            base=base,
+            **arrays,
+        )
+
+    @classmethod
+    def load(cls, path: Path, base: FrontendPlan) -> "EntanglingPlan":
+        """Load from the ``.ent.npz``; raises on any corruption."""
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+            arrays = {
+                name: data[name] for name in ENTANGLING_ARRAY_FIELDS
+            }
+        return cls._from_parts(meta, arrays, base)
+
+    @classmethod
+    def load_mmap(cls, dirpath: Path, base: FrontendPlan) -> "EntanglingPlan":
+        """Load from the mmap sidecar; bulk arrays stay memory-mapped."""
+        meta, arrays = read_sidecar_dir(dirpath, ENTANGLING_ARRAY_FIELDS)
+        return cls._from_parts(meta, arrays, base)
+
+
+# -- fingerprinting ------------------------------------------------------------
+
+
+_entangling_geometry_cache: Optional[str] = None
+
+
+def _entangling_geometry() -> str:
+    """Table geometry baked into every recorded stream.
+
+    Derived from :class:`EntanglingPrefetcher`'s constructor defaults
+    (the harness never overrides them), so a future geometry change
+    re-keys the plan cache automatically instead of serving streams
+    recorded under a different table.
+    """
+    global _entangling_geometry_cache
+    if _entangling_geometry_cache is None:
+        defaults = {
+            name: p.default
+            for name, p in inspect.signature(
+                EntanglingPrefetcher.__init__
+            ).parameters.items()
+            if p.default is not inspect.Parameter.empty
+        }
+        _entangling_geometry_cache = (
+            f"t{defaults['table_entries']}"
+            f"d{defaults['dests_per_entry']}"
+            f"l{defaults['latency_estimate']}"
+            f"h{defaults['history']}"
+        )
+    return _entangling_geometry_cache
+
+
+def entangling_fingerprint(
+    trace: Trace, machine: MachineParams, scheme_name: str
+) -> str:
+    """Hash of everything a recorded stream's content depends on.
+
+    Unlike :func:`repro.frontend.plan.frontend_fingerprint` this is
+    deliberately *machine-wide*: the recorded miss cycles depend on
+    backend width, queue depth, MSHR count and hierarchy latencies, so
+    the whole machine fingerprint participates — plus the reference
+    scheme name, since the stream is scheme-coupled by construction.
+    """
+    blob = json.dumps(
+        {
+            "format": ENTANGLING_PLAN_FORMAT,
+            "trace": trace.digest,
+            "scheme": scheme_name,
+            "machine": machine.fingerprint(),
+            "entangling": _entangling_geometry(),
+            "stack": _stack_geometry(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha1(blob.encode()).hexdigest()[:12]
+
+
+# -- builder -------------------------------------------------------------------
+
+
+def build_entangling_plan(
+    trace: Trace,
+    machine: MachineParams,
+    scheme,
+    scheme_name: str,
+    base: Optional[FrontendPlan] = None,
+) -> Tuple["EntanglingPlan", object]:
+    """Pass 1: run ``scheme`` live with a recorder; return (plan, RunResult).
+
+    The returned RunResult is the *reference run itself* — recording is
+    pure observation, so it is bit-identical to an unrecorded live run
+    and callers building a plan for the scheme they are about to
+    measure should use it directly instead of replaying (that is how
+    exact mode keeps cold runs as cheap as the pre-plan live path).
+
+    ``base`` is the trace's ``"none"`` FrontendPlan (the mispredict
+    stream provider); when omitted it is built in memory.  Callers
+    going through :func:`cached_entangling_plan` pass the disk-cached
+    one instead, so sweeps never rebuild it.
+    """
+    from repro.uarch.timing import simulate
+
+    stack = BranchStack(trace)
+    recorder = RecordingEntanglingPrefetcher(trace)
+    run = simulate(trace, scheme, recorder, stack, machine)
+    if base is None:
+        base = build_plan(trace, machine, "none")
+    n = len(trace)
+    plan = EntanglingPlan(
+        trace_name=trace.name,
+        trace_digest=trace.digest,
+        scheme=scheme_name,
+        machine_fingerprint=machine.fingerprint(),
+        warmup_end=int(n * machine.warmup_fraction),
+        fingerprint=entangling_fingerprint(trace, machine, scheme_name),
+        ref_scalars={k: getattr(run, k) for k in REF_SCALAR_FIELDS},
+        cand_blocks=np.asarray(recorder.rec_cand_blocks, dtype=np.int64),
+        cand_lo=np.asarray(recorder.rec_cand_lo, dtype=np.int64),
+        cand_hi=np.asarray(recorder.rec_cand_hi, dtype=np.int64),
+        miss_rec=np.asarray(recorder.rec_miss_rec, dtype=np.int64),
+        miss_cycle=np.asarray(recorder.rec_miss_cycle, dtype=np.int64),
+        ent_src=np.asarray(recorder.rec_ent_src, dtype=np.int64),
+        ent_dst=np.asarray(recorder.rec_ent_dst, dtype=np.int64),
+        base=base,
+    )
+    return plan, run
+
+
+# -- caching -------------------------------------------------------------------
+
+
+def _entangling_plan_path(trace: Trace, fingerprint: str) -> Path:
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", trace.name)[:64]
+    return plan_cache_dir() / f"{safe}.{fingerprint}.ent.npz"
+
+
+#: Entangling plans are per-scheme, so a sweep touches more of them
+#: than FrontendPlans; still small — one workload's schemes at a time.
+_MEMO_CAP = 4
+_memo: "OrderedDict[str, EntanglingPlan]" = OrderedDict()
+
+
+def clear_entangling_plan_memo() -> None:
+    """Drop the in-process entangling-plan memo (tests)."""
+    _memo.clear()
+
+
+def cached_entangling_plan(
+    trace: Trace,
+    machine: MachineParams,
+    scheme_name: str,
+    scheme_builder: Callable[[], object],
+    use_disk: Optional[bool] = None,
+) -> Tuple["EntanglingPlan", Optional[object]]:
+    """Memoised + disk-cached plan; returns ``(plan, reference RunResult)``.
+
+    The RunResult is non-None only when pass 1 actually ran in this
+    call (memo/disk misses): exact-mode callers whose consumer scheme
+    *is* the reference scheme return it directly, so building a plan
+    never costs more than the live run it replaces.  ``scheme_builder``
+    is only invoked on a miss; it must return a *fresh* scheme instance
+    for ``scheme_name`` (the harness passes a registry factory — the
+    frontend layer deliberately does not import the scheme registry).
+
+    Lookup order and staleness handling mirror
+    :func:`repro.frontend.plan.cached_plan`: memo, mmap sidecar, npz,
+    then build; corrupt or fingerprint-stale entries are discarded and
+    rebuilt.
+    """
+    fingerprint = entangling_fingerprint(trace, machine, scheme_name)
+    plan = _memo.get(fingerprint)
+    if plan is not None:
+        _memo.move_to_end(fingerprint)
+        return plan, None
+    if use_disk is None:
+        use_disk = os.environ.get("REPRO_NO_DISK_CACHE", "") != "1"
+    path = _entangling_plan_path(trace, fingerprint)
+    sidecar = mmap_sidecar_path(path)
+    base = cached_plan(trace, machine, "none", use_disk=use_disk)
+    if use_disk and _mmap_enabled() and sidecar.exists():
+        try:
+            plan = EntanglingPlan.load_mmap(sidecar, base)
+            if plan.fingerprint != fingerprint or len(plan) != len(trace):
+                raise ValueError("stale entangling plan mmap sidecar")
+        except Exception:
+            shutil.rmtree(sidecar, ignore_errors=True)  # corrupt/stale
+            plan = None
+    if plan is None and use_disk and path.exists():
+        try:
+            plan = EntanglingPlan.load(path, base)
+            if plan.fingerprint != fingerprint or len(plan) != len(trace):
+                raise ValueError("stale entangling plan cache entry")
+        except Exception:
+            path.unlink(missing_ok=True)  # corrupt/stale: rebuild
+            plan = None
+        if plan is not None and _mmap_enabled() and not sidecar.exists():
+            plan.write_mmap_sidecar(sidecar)  # repair for future workers
+    run = None
+    if plan is None:
+        plan, run = build_entangling_plan(
+            trace, machine, scheme_builder(), scheme_name, base=base
+        )
+        if use_disk:
+            plan.save(path)
+    _memo[fingerprint] = plan
+    while len(_memo) > _MEMO_CAP:
+        _memo.popitem(last=False)
+    return plan, run

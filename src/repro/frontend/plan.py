@@ -38,9 +38,11 @@ records between them retire — the memoisation the live stack performs).
 The sequential spans between those events — the vast majority of every
 trace — are filled with numpy arithmetic.
 
-Entangling prefetch cannot be planned: its table training consumes live
-fetch/miss cycle times, which depend on the scheme.  Those runs keep
-the live path.
+Entangling prefetch cannot be planned *scheme-independently*: its table
+training consumes live fetch/miss cycle times, which depend on the
+scheme.  It gets a two-pass, scheme-*coupled* plan instead — one live
+reference run records the training stream, every later run replays it —
+see :mod:`repro.frontend.entangling_plan`.
 
 Plans are cached on disk as ``.npz`` beside the trace cache (see
 :func:`plan_cache_dir`), keyed by a frontend-only fingerprint: trace
@@ -72,7 +74,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -134,8 +136,59 @@ def _stack_geometry() -> str:
 
 
 def plannable(prefetcher: str) -> bool:
-    """True when ``prefetcher`` runs can consume a precomputed plan."""
+    """True when ``prefetcher`` runs can consume a *scheme-independent* plan.
+
+    Entangling returns False here — its plan exists but is
+    scheme-coupled and handled separately by
+    :mod:`repro.frontend.entangling_plan`.
+    """
     return prefetcher in PLANNABLE_PREFETCHERS
+
+
+# -- mmap sidecar primitives (shared with the entangling plan) -----------------
+
+
+def write_sidecar_dir(
+    dirpath: Path,
+    arrays: Mapping[str, np.ndarray],
+    meta: Mapping[str, object],
+) -> None:
+    """Write an uncompressed ``.npy``-per-array sidecar directory.
+
+    Built in a temp directory and committed by a single rename;
+    ``meta.json`` (the commit marker, carrying the owner's fingerprint)
+    is written last inside the temp dir, so a directory without
+    readable meta is never trusted.  Best effort: a lost race against a
+    concurrent writer leaves the winner's sidecar in place.
+    """
+    tmp = dirpath.with_name(f"{dirpath.name}.{os.getpid()}.tmp")
+    shutil.rmtree(tmp, ignore_errors=True)
+    tmp.mkdir(parents=True)
+    try:
+        for name, array in arrays.items():
+            np.save(tmp / f"{name}.npy", np.asarray(array))
+        (tmp / "meta.json").write_text(json.dumps(meta, sort_keys=True))
+        shutil.rmtree(dirpath, ignore_errors=True)
+        os.replace(tmp, dirpath)
+    except OSError:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def read_sidecar_dir(
+    dirpath: Path, fields: Sequence[str]
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Read a sidecar directory: ``(meta, memory-mapped arrays)``.
+
+    Raises on any unreadable piece (missing/truncated arrays, bad
+    meta); callers treat that as corruption, discard the sidecar and
+    fall back to the ``.npz``.
+    """
+    meta = json.loads((dirpath / "meta.json").read_text())
+    arrays = {
+        name: np.load(dirpath / f"{name}.npy", mmap_mode="r")
+        for name in fields
+    }
+    return meta, arrays
 
 
 @dataclass
@@ -171,6 +224,18 @@ class FrontendPlan:
     @cached_property
     def cand_hi_list(self) -> List[int]:
         return self.cand_hi.tolist()
+
+    def candidate_blocks_list(self, trace: Trace) -> List[int]:
+        """The block array the plan's candidate spans index into.
+
+        FDP run-ahead only ever walks the future fetch path, so the
+        trace's own blocks back every span; the entangling plan
+        (:mod:`repro.frontend.entangling_plan`) overrides this with its
+        recorded candidate stream.  The engine's planned loop issues
+        ``candidate_blocks_list(trace)[cand_lo[i]:cand_hi[i]]`` at
+        record ``i``.
+        """
+        return trace.blocks_list
 
     # -- derived views ------------------------------------------------------
 
@@ -216,27 +281,21 @@ class FrontendPlan:
         effort: a lost race against another writer leaves the winner's
         sidecar in place.
         """
-        tmp = dirpath.with_name(f"{dirpath.name}.{os.getpid()}.tmp")
-        shutil.rmtree(tmp, ignore_errors=True)
-        tmp.mkdir(parents=True)
-        try:
-            for name in PLAN_ARRAY_FIELDS:
-                np.save(tmp / f"{name}.npy", getattr(self, name))
-            meta = {
-                "format": PLAN_FORMAT,
-                "fingerprint": self.fingerprint,
-                "trace_name": self.trace_name,
-                "trace_digest": self.trace_digest,
-                "prefetcher": self.prefetcher,
-                "depth": self.depth,
-                "warmup_end": self.warmup_end,
-                "records": len(self),
-            }
-            (tmp / "meta.json").write_text(json.dumps(meta, sort_keys=True))
-            shutil.rmtree(dirpath, ignore_errors=True)
-            os.replace(tmp, dirpath)
-        except OSError:
-            shutil.rmtree(tmp, ignore_errors=True)
+        meta = {
+            "format": PLAN_FORMAT,
+            "fingerprint": self.fingerprint,
+            "trace_name": self.trace_name,
+            "trace_digest": self.trace_digest,
+            "prefetcher": self.prefetcher,
+            "depth": self.depth,
+            "warmup_end": self.warmup_end,
+            "records": len(self),
+        }
+        write_sidecar_dir(
+            dirpath,
+            {name: getattr(self, name) for name in PLAN_ARRAY_FIELDS},
+            meta,
+        )
 
     @classmethod
     def load_mmap(cls, dirpath: Path) -> "FrontendPlan":
@@ -246,15 +305,11 @@ class FrontendPlan:
         format drift, inconsistent lengths) — callers discard the
         sidecar and fall back to the npz.
         """
-        meta = json.loads((dirpath / "meta.json").read_text())
+        meta, arrays = read_sidecar_dir(dirpath, PLAN_ARRAY_FIELDS)
         if int(meta["format"]) != PLAN_FORMAT:
             raise ValueError(
                 f"plan format {meta['format']} != {PLAN_FORMAT}"
             )
-        arrays = {
-            name: np.load(dirpath / f"{name}.npy", mmap_mode="r")
-            for name in PLAN_ARRAY_FIELDS
-        }
         n = int(meta["records"])
         if (
             len(arrays["mispredict"]) != n

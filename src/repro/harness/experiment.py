@@ -11,6 +11,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.frontend.entangling import EntanglingPrefetcher
+from repro.frontend.entangling_plan import (
+    ENTANGLING_REFERENCE_SCHEME,
+    cached_entangling_plan,
+    entangling_plan_mode,
+)
 from repro.frontend.fdp import FetchDirectedPrefetcher, NullPrefetcher
 from repro.frontend.plan import cached_plan, plannable
 from repro.frontend.stack import BranchStack
@@ -91,9 +96,17 @@ def run_experiment(
     :class:`~repro.frontend.plan.FrontendPlan` — the scheme-independent
     frontend work is done once per (workload, frontend config) and
     shared by every scheme; the result is bit-identical to the live
-    path.  ``use_plan=False`` (or ``REPRO_NO_PLAN=1``) forces the live
-    stack/prefetcher path; entangling always runs live, since its table
-    training consumes scheme-dependent miss timing.
+    path.  Entangling runs consume a *scheme-coupled*
+    :class:`~repro.frontend.entangling_plan.EntanglingPlan` instead:
+    in ``exact`` mode (the default) the plan is recorded under the very
+    scheme being run — a cold run is the recording pass itself (one
+    live simulation, exactly the pre-plan cost) and warm runs replay it
+    bit-identically; ``REPRO_ENTANGLING_PLAN=approx`` replays one
+    reference-scheme stream for every scheme (documented approximation,
+    cached under separate result keys); ``REPRO_ENTANGLING_PLAN=off``
+    restores the always-live behaviour.  ``use_plan=False`` (or
+    ``REPRO_NO_PLAN=1``) forces the live stack/prefetcher path for
+    every prefetcher.
     """
     machine = machine or DEFAULT_MACHINE
     records = scaled_records(records)
@@ -107,6 +120,28 @@ def run_experiment(
     if use_plan and plannable(prefetcher):
         plan = cached_plan(trace, machine, prefetcher)
         run = simulate(trace, scheme_obj, machine=machine, plan=plan)
+    elif (
+        use_plan
+        and prefetcher == "entangling"
+        and entangling_plan_mode() != "off"
+    ):
+        reference = (
+            scheme
+            if entangling_plan_mode() == "exact"
+            else ENTANGLING_REFERENCE_SCHEME
+        )
+        plan, fresh = cached_entangling_plan(
+            trace,
+            machine,
+            reference,
+            (lambda: scheme_obj)
+            if reference == scheme
+            else (lambda: make_scheme(reference, context)),
+        )
+        if fresh is not None and reference == scheme:
+            run = fresh  # pass 1 doubles as this run: no replay needed
+        else:
+            run = simulate(trace, scheme_obj, machine=machine, plan=plan)
     else:
         stack = BranchStack(trace)
         prefetcher_obj = build_prefetcher(prefetcher, trace, stack, machine)

@@ -8,6 +8,9 @@ the LRU/OPT baselines.  The runner caches:
 * **on disk** — the scalar measurements as JSON under
   ``.cache/results``, keyed by (workload, scheme, prefetcher, records,
   machine fingerprint), so separate pytest invocations don't resimulate.
+  Approximate entangling-plan runs (``REPRO_ENTANGLING_PLAN=approx``)
+  key their entries under ``entangling-approx`` so they can never be
+  mistaken for exact results.
 
 Set ``REPRO_NO_DISK_CACHE=1`` to disable the disk layer (tests do).
 
@@ -26,22 +29,32 @@ matter how many schemes the sweep pushes through that workload.
 Pending pairs are dispatched workload-major (sorted by workload, then
 scheme) so consecutive tasks land on whatever worker already has that
 workload resident.
+
+Prewarming: before forking, the parent builds (and disk-caches) every
+pending workload's trace and frontend plan, so workers mmap sidecars
+instead of racing to redo the same work N times.  In approx entangling
+mode the parent also records each workload's *reference* entangling
+stream once — that single training run is what every scheme in the
+sweep then replays.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.frontend.entangling_plan import (
+    ENTANGLING_REFERENCE_SCHEME,
+    cached_entangling_plan,
+    entangling_plan_mode,
+)
 from repro.frontend.plan import cached_plan, plannable
 from repro.harness.experiment import _plans_enabled, run_experiment, scaled_records
-from repro.harness.schemes import SchemeContext
+from repro.harness.schemes import SchemeContext, make_scheme
 from repro.uarch.params import DEFAULT_MACHINE, MachineParams
 from repro.uarch.timing import RunResult
 from repro.workloads.profiles import get_workload
@@ -52,11 +65,6 @@ def _results_dir() -> Path:
     if env:
         return Path(env)
     return Path(__file__).resolve().parents[3] / ".cache" / "results"
-
-
-def _machine_fingerprint(machine: MachineParams) -> str:
-    blob = json.dumps(asdict(machine), sort_keys=True, default=str)
-    return hashlib.sha1(blob.encode()).hexdigest()[:10]
 
 
 _SCALAR_FIELDS = (
@@ -147,7 +155,16 @@ def _sweep_worker(pair: Tuple[str, str]) -> Tuple[str, str, Dict[str, object]]:
 
 
 class Runner:
-    """Caching sweep driver shared by benches and examples."""
+    """Caching sweep driver shared by benches and examples.
+
+    One Runner is one sweep configuration — a fixed (``records``,
+    ``prefetcher``, ``machine``) triple; workloads and schemes vary per
+    call.  :meth:`run` answers single pairs through both cache layers,
+    :meth:`run_live` bypasses the disk layer when the caller needs the
+    live scheme object's internals (figure-specific statistics), and
+    :meth:`sweep` runs a cross product, optionally fanned out across
+    resident worker processes.
+    """
 
     def __init__(
         self,
@@ -167,12 +184,32 @@ class Runner:
 
     # -- caching ------------------------------------------------------------
 
-    def _key(self, workload: str, scheme: str) -> Tuple[str, str]:
-        return (workload, scheme)
+    def _key(self, workload: str, scheme: str) -> Tuple[str, str, str]:
+        # The prefetcher key participates so a mode flip mid-process
+        # (REPRO_ENTANGLING_PLAN toggled between calls) can never serve
+        # an approx result as exact from the in-memory layer either.
+        return (workload, scheme, self._prefetcher_cache_key())
+
+    def _prefetcher_cache_key(self) -> str:
+        """The prefetcher component of result cache keys (both layers).
+
+        Approximate entangling replays produce *different* scalars than
+        exact/live runs of the same pair, so they get their own key —
+        an approx sweep can never poison (or be served) exact entries.
+        """
+        if (
+            self.prefetcher == "entangling"
+            and entangling_plan_mode() == "approx"
+        ):
+            return "entangling-approx"
+        return self.prefetcher
 
     def _disk_path(self, workload: str, scheme: str) -> Path:
-        fingerprint = _machine_fingerprint(self.machine)
-        name = f"{workload}.{scheme}.{self.prefetcher}.r{self.records}.{fingerprint}.json"
+        fingerprint = self.machine.fingerprint()
+        name = (
+            f"{workload}.{scheme}.{self._prefetcher_cache_key()}"
+            f".r{self.records}.{fingerprint}.json"
+        )
         return _results_dir() / name
 
     def _load_disk(self, workload: str, scheme: str) -> Optional[RunResult]:
@@ -235,14 +272,29 @@ class Runner:
         Building a context also prewarms the workload's frontend plan
         (memo + ``.npz`` cache), so every scheme simulated against this
         workload — in this process or in sweep workers — shares one
-        branch-stack/FDP replay instead of redoing it per pair.
+        branch-stack/FDP replay instead of redoing it per pair.  In
+        approx entangling mode the reference scheme's training stream
+        is recorded here too (one live run per workload), for the same
+        reason; in exact mode plans are per-scheme, so workers record
+        their own as pairs come up.
         """
         ctx = self._contexts.get(workload)
         if ctx is None:
             trace = get_workload(workload).trace(records=self.records)
             ctx = SchemeContext(trace=trace, machine=self.machine)
-            if _plans_enabled() and plannable(self.prefetcher):
-                cached_plan(trace, self.machine, self.prefetcher)
+            if _plans_enabled():
+                if plannable(self.prefetcher):
+                    cached_plan(trace, self.machine, self.prefetcher)
+                elif (
+                    self.prefetcher == "entangling"
+                    and entangling_plan_mode() == "approx"
+                ):
+                    cached_entangling_plan(
+                        trace,
+                        self.machine,
+                        ENTANGLING_REFERENCE_SCHEME,
+                        lambda: make_scheme(ENTANGLING_REFERENCE_SCHEME, ctx),
+                    )
             self._contexts[workload] = ctx
         return ctx
 
@@ -297,9 +349,14 @@ class Runner:
     ) -> Dict[Tuple[str, str], RunResult]:
         """Run the full cross product; returns {(workload, scheme): result}.
 
-        ``jobs`` > 1 simulates uncached pairs in that many worker
-        processes (default: the ``REPRO_JOBS`` environment variable,
-        falling back to serial).  Results are identical to the serial
+        ``jobs`` > 1 simulates uncached pairs in that many *resident*
+        worker processes (default: the ``REPRO_JOBS`` environment
+        variable, falling back to serial): a pool initializer installs
+        the sweep configuration once per process, each worker keeps a
+        per-workload :class:`SchemeContext` alive across pairs, and
+        pending pairs are dispatched workload-major so consecutive
+        tasks reuse whatever a worker already has resident.  Cache hits
+        never fork a worker.  Results are identical to the serial
         sweep: the engine is deterministic and workers only return
         scalar measurements, which the parent installs in both cache
         layers.

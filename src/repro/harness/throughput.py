@@ -18,7 +18,13 @@ fails on any drift without touching the snapshot).
 Plannable prefetchers are measured the way sweeps now run them: the
 workload's :class:`~repro.frontend.plan.FrontendPlan` is built once per
 grid (its one-off cost is reported as ``plan_seconds``) and every
-scheme's timed region is the plan-driven ``simulate`` alone.
+scheme's timed region is the plan-driven ``simulate`` alone.  Grid
+entries may override the grid's prefetcher with a ``scheme+prefetcher``
+spec: ``lru+entangling`` measures the lru scheme under the entangling
+prefetcher, replaying its exact-mode
+:class:`~repro.frontend.entangling_plan.EntanglingPlan` (the recording
+pass runs once per entry, outside the timed region, and its aggregate
+cost lands in ``entangling_plan_seconds``).
 """
 
 from __future__ import annotations
@@ -28,8 +34,9 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.frontend.entangling_plan import build_entangling_plan
 from repro.frontend.plan import FrontendPlan, build_plan, plannable
 from repro.frontend.stack import BranchStack
 from repro.harness.experiment import build_prefetcher
@@ -41,8 +48,10 @@ from repro.workloads.trace import Trace
 
 #: The fixed grid: one representative datacenter trace, the baseline
 #: scheme, the paper's contribution, the slowest policy competitors as
-#: canaries, and two ACIC ablation variants so scheme-layer (admission
-#: pipeline) wins are tracked separately from engine wins.
+#: canaries, two ACIC ablation variants so scheme-layer (admission
+#: pipeline) wins are tracked separately from engine wins, and two
+#: entangling-prefetcher entries (the Figs. 20-21 baseline family) so
+#: the entangling-plan replay path is throughput- and drift-tracked.
 DEFAULT_WORKLOAD = "media-streaming"
 DEFAULT_SCHEMES = (
     "lru",
@@ -53,8 +62,23 @@ DEFAULT_SCHEMES = (
     "harmony",
     "acic-nofilter",
     "acic-bimodal",
+    "lru+entangling",
+    "acic+entangling",
 )
 DEFAULT_RECORDS = 20_000
+
+
+def parse_scheme_spec(spec: str, default_prefetcher: str) -> Tuple[str, str]:
+    """Split a grid entry into (scheme, prefetcher).
+
+    ``"lru"`` inherits the grid's prefetcher; ``"lru+entangling"``
+    pins its own.  The spec string itself keys the snapshot entry, so
+    the same scheme can appear under several prefetchers in one grid.
+    """
+    if "+" in spec:
+        scheme, prefetcher = spec.split("+", 1)
+        return scheme, prefetcher
+    return spec, default_prefetcher
 
 #: Scalars that must be bit-identical across engine optimisations.
 SCALAR_FIELDS = (
@@ -81,28 +105,36 @@ class ThroughputSample:
 
 def measure_scheme(
     trace: Trace,
-    scheme_name: str,
+    scheme_spec: str,
     prefetcher: str = "fdp",
     machine: Optional[MachineParams] = None,
     repeats: int = 3,
-    plan: Optional[FrontendPlan] = None,
+    plan: Optional[object] = None,
 ) -> ThroughputSample:
-    """Time ``repeats`` fresh simulations of ``scheme_name``; keep the best.
+    """Time ``repeats`` fresh simulations of ``scheme_spec``; keep the best.
 
-    Every repeat rebuilds the scheme so no state leaks between rounds
-    and the measured cost is a true cold single run.  For plannable
-    prefetchers the run is plan-driven — the frontend replay is built
-    once (pass ``plan`` to share it across a grid, the way sweeps share
-    it across schemes) and sits outside the timed region.
+    ``scheme_spec`` may carry its own prefetcher (``"lru+entangling"``);
+    otherwise ``prefetcher`` applies.  Every repeat rebuilds the scheme
+    so no state leaks between rounds and the measured cost is a true
+    cold single run.  Planned prefetchers are plan-driven — the replay
+    (FrontendPlan for fdp/none, exact-mode EntanglingPlan for
+    entangling) is built once (pass ``plan`` to share it across a grid,
+    the way sweeps share it across schemes) and sits outside the timed
+    region.
     """
     if repeats <= 0:
         raise ValueError(f"repeats must be positive, got {repeats}")
     machine = machine or DEFAULT_MACHINE
+    scheme_name, prefetcher = parse_scheme_spec(scheme_spec, prefetcher)
+    ctx = SchemeContext(trace=trace, machine=machine)
     if plan is None and plannable(prefetcher):
         plan = build_plan(trace, machine, prefetcher)
+    if plan is None and prefetcher == "entangling":
+        plan, _ = build_entangling_plan(
+            trace, machine, make_scheme(scheme_name, ctx), scheme_name
+        )
     best = None
     result = None
-    ctx = SchemeContext(trace=trace, machine=machine)
     for _ in range(repeats):
         scheme = make_scheme(scheme_name, ctx)
         if plan is not None:
@@ -118,7 +150,7 @@ def measure_scheme(
             best = elapsed
     scalars = {name: getattr(result, name) for name in SCALAR_FIELDS}
     return ThroughputSample(
-        scheme=scheme_name,
+        scheme=scheme_spec,
         records=len(trace),
         seconds=best,
         records_per_sec=len(trace) / best if best else 0.0,
@@ -133,7 +165,14 @@ def measure_grid(
     prefetcher: str = "fdp",
     repeats: int = 3,
 ) -> Dict[str, object]:
-    """Measure every scheme on the fixed grid; returns the report dict."""
+    """Measure every scheme spec on the fixed grid; returns the report dict.
+
+    The grid's FrontendPlan is built once and shared by every spec that
+    inherits the grid prefetcher; ``+entangling`` specs each get an
+    exact-mode recording pass (reference scheme = the spec's own
+    scheme), timed into ``entangling_plan_seconds`` but excluded from
+    the per-scheme timed region, mirroring how warm sweeps replay them.
+    """
     trace = get_workload(workload).trace(records=records)
     plan = None
     plan_seconds = 0.0
@@ -141,12 +180,24 @@ def measure_grid(
         start = time.perf_counter()
         plan = build_plan(trace, DEFAULT_MACHINE, prefetcher)
         plan_seconds = time.perf_counter() - start
-    samples = {
-        name: measure_scheme(
-            trace, name, prefetcher=prefetcher, repeats=repeats, plan=plan
+    ctx = SchemeContext(trace=trace, machine=DEFAULT_MACHINE)
+    entangling_plan_seconds = 0.0
+    samples = {}
+    for spec in schemes:
+        scheme_name, spec_prefetcher = parse_scheme_spec(spec, prefetcher)
+        spec_plan = plan if spec_prefetcher == prefetcher else None
+        if spec_prefetcher == "entangling":
+            start = time.perf_counter()
+            spec_plan, _ = build_entangling_plan(
+                trace,
+                DEFAULT_MACHINE,
+                make_scheme(scheme_name, ctx),
+                scheme_name,
+            )
+            entangling_plan_seconds += time.perf_counter() - start
+        samples[spec] = measure_scheme(
+            trace, spec, prefetcher=prefetcher, repeats=repeats, plan=spec_plan
         )
-        for name in schemes
-    }
     return {
         "workload": workload,
         "records": records,
@@ -154,6 +205,7 @@ def measure_grid(
         "prefetcher": prefetcher,
         "repeats": repeats,
         "plan_seconds": round(plan_seconds, 6),
+        "entangling_plan_seconds": round(entangling_plan_seconds, 6),
         "python": sys.version.split()[0],
         "schemes": {
             name: {

@@ -13,7 +13,9 @@ below are the knobs of that model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 
 from repro.mem.cache import CacheConfig
 from repro.mem.hierarchy import HierarchyConfig
@@ -40,6 +42,18 @@ class MachineParams:
             raise ValueError(
                 f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
             )
+
+    def fingerprint(self) -> str:
+        """Content hash over every field, for cache keys.
+
+        Used wherever derived data depends on the *whole* machine —
+        sweep-result cache entries and entangling plans (whose recorded
+        timing is machine-coupled).  Frontend plans deliberately use the
+        narrower :func:`repro.frontend.plan.frontend_fingerprint`
+        instead.
+        """
+        blob = json.dumps(asdict(self), sort_keys=True, default=str)
+        return hashlib.sha1(blob.encode()).hexdigest()[:10]
 
 
 #: The baseline 32 KB, 8-way L1 i-cache of Table II.

@@ -26,7 +26,12 @@ from repro.uarch.params import MachineParams
 from repro.workloads.trace import Trace
 
 if TYPE_CHECKING:  # avoid an import cycle at runtime
+    from typing import Union
+
+    from repro.frontend.entangling_plan import EntanglingPlan
     from repro.frontend.plan import FrontendPlan
+
+    AnyPlan = Union[FrontendPlan, EntanglingPlan]
 
 
 class L1IScheme(Protocol):
@@ -106,20 +111,24 @@ def simulate(
     stack: Optional[BranchStack] = None,
     machine: Optional[MachineParams] = None,
     hierarchy: Optional[MemoryHierarchy] = None,
-    plan: Optional["FrontendPlan"] = None,
+    plan: Optional["AnyPlan"] = None,
 ) -> RunResult:
     """Run ``scheme`` over ``trace`` and return post-warmup measurements.
 
-    Two frontend modes, bit-identical by construction (and pinned by
-    ``tests/test_frontend_plan.py``):
+    Two frontend modes (pinned against each other by
+    ``tests/test_frontend_plan.py`` and ``tests/test_entangling_plan.py``):
 
     * **live** — ``prefetcher`` and ``stack`` drive branch training and
-      the prefetch candidate stream per record (required for
-      entangling, whose table training consumes live miss timing);
+      the prefetch candidate stream per record (the reference path, and
+      the recording pass of the two-pass entangling plan);
     * **planned** — ``plan`` is a precomputed
-      :class:`~repro.frontend.plan.FrontendPlan` and the engine reads
-      mispredict flags and candidate spans from flat arrays, touching
-      no branch-stack or prefetcher code at all.
+      :class:`~repro.frontend.plan.FrontendPlan` (fdp/none, always
+      bit-identical to live) or
+      :class:`~repro.frontend.entangling_plan.EntanglingPlan`
+      (bit-identical when replayed for its reference scheme; documented
+      approximation across schemes) and the engine reads mispredict
+      flags and candidate spans from flat arrays, touching no
+      branch-stack or prefetcher code at all.
 
     The loop body runs once per fetch record — two million times for a
     full-length sweep pair — so everything invariant is hoisted out of
@@ -287,16 +296,18 @@ def _simulate_planned(
     scheme: L1IScheme,
     machine: MachineParams,
     hierarchy: Optional[MemoryHierarchy],
-    plan: "FrontendPlan",
+    plan: "AnyPlan",
 ) -> RunResult:
     """The planned twin of the live loop in :func:`simulate`.
 
     Branch flushes come from ``plan.mispredict`` and the prefetch
-    candidate stream from ``plan.cand_lo/cand_hi`` spans over the
-    trace's own blocks array; the fdp/none prefetchers' fetch/miss
-    observers are no-ops, so no per-record frontend calls remain.  Any
-    change here must keep the scalars bit-identical to the live path
-    (``tests/test_frontend_plan.py`` pins this across schemes, branch
+    candidate stream from ``plan.cand_lo/cand_hi`` spans over
+    ``plan.candidate_blocks_list(trace)`` — the trace's own blocks for
+    FDP run-ahead, the recorded issue stream for an entangling plan; no
+    per-record frontend calls remain.  Any change here must keep the
+    scalars bit-identical to the live path
+    (``tests/test_frontend_plan.py`` and
+    ``tests/test_entangling_plan.py`` pin this across schemes, branch
     kinds and workload profiles).
     """
     n = len(trace)
@@ -319,6 +330,7 @@ def _simulate_planned(
     mispredict = plan.mispredict_list
     cand_lo = plan.cand_lo_list
     cand_hi = plan.cand_hi_list
+    cand_blocks = plan.candidate_blocks_list(trace)
 
     backend_ipc = machine.backend_ipc
     queue_cap = float(machine.decode_queue_instrs)
@@ -408,7 +420,7 @@ def _simulate_planned(
         lo = cand_lo[i]
         hi = cand_hi[i]
         if lo < hi:
-            for candidate in blocks[lo:hi]:
+            for candidate in cand_blocks[lo:hi]:
                 if mshr_contains(candidate) or scheme_contains(candidate):
                     continue
                 latency = float(hierarchy_access(candidate, i))

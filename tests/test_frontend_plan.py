@@ -238,7 +238,11 @@ class TestPlannedSimulateEquivalence:
         planned = run_experiment("x264", "acic", records=4000, use_plan=True)
         assert _scalars(planned.run) == _scalars(live.run)
 
-    def test_entangling_always_runs_live(self):
+    def test_entangling_is_not_frontend_plannable(self):
+        """Entangling never consumes a FrontendPlan: its plan family is
+        the scheme-coupled two-pass EntanglingPlan (see
+        tests/test_entangling_plan.py), not the scheme-independent one.
+        """
         assert not plannable("entangling")
         result = run_experiment(
             "x264", "lru", prefetcher="entangling", records=2000, use_plan=True
