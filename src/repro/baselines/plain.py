@@ -40,3 +40,11 @@ class PlainCacheScheme:
 
     def reset(self) -> None:
         self.icache.reset()
+
+    # -- checkpoint/resume --------------------------------------------------
+
+    def save_state(self) -> dict:
+        return {"icache": self.icache.save_state()}
+
+    def load_state(self, state: dict) -> None:
+        self.icache.load_state(state["icache"])

@@ -50,6 +50,18 @@ class VictimCacheScheme:
         self.icache.reset()
         self.victim_cache.reset()
 
+    # -- checkpoint/resume --------------------------------------------------
+
+    def save_state(self) -> dict:
+        return {
+            "icache": self.icache.save_state(),
+            "victim_cache": self.victim_cache.save_state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.icache.load_state(state["icache"])
+        self.victim_cache.load_state(state["victim_cache"])
+
 
 class VVCScheme:
     """LRU L1i using predicted-dead lines as a virtual victim cache.
@@ -102,3 +114,15 @@ class VVCScheme:
     def reset(self) -> None:
         self.icache.reset()
         self.vvc.reset()
+
+    # -- checkpoint/resume --------------------------------------------------
+
+    def save_state(self) -> dict:
+        return {
+            "icache": self.icache.save_state(),
+            "vvc": self.vvc.save_state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.icache.load_state(state["icache"])
+        self.vvc.load_state(state["vvc"])

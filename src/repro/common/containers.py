@@ -114,6 +114,18 @@ class LRUSet:
     def clear(self) -> None:
         self._lines.clear()
 
+    # -- checkpoint/resume --------------------------------------------------
+
+    def save_state(self) -> dict:
+        from repro.common.state import snapshot
+
+        return {"lines": snapshot(self._lines)}
+
+    def load_state(self, state: dict) -> None:
+        from repro.common.state import load_dict_inplace
+
+        load_dict_inplace(self._lines, state["lines"])
+
 
 _MISSING = object()
 
@@ -197,3 +209,15 @@ class FullyAssociativeLRU:
 
     def clear(self) -> None:
         self._lines.clear()
+
+    # -- checkpoint/resume --------------------------------------------------
+
+    def save_state(self) -> dict:
+        from repro.common.state import snapshot
+
+        return {"lines": snapshot(self._lines)}
+
+    def load_state(self, state: dict) -> None:
+        from repro.common.state import load_dict_inplace
+
+        load_dict_inplace(self._lines, state["lines"])

@@ -59,6 +59,28 @@ class AdmissionPredictor(ABC):
     def reset(self) -> None:  # pragma: no cover - trivial default
         pass
 
+    # -- checkpoint/resume --------------------------------------------------
+    #
+    # Subclasses list their mutable learned state in ``_STATE_ATTRS``
+    # (every predictor here also carries a ``stats`` dataclass, restored
+    # in place so outer aliases survive).  The defaults cover every
+    # predictor in this module; a subclass with exotic state overrides.
+
+    _STATE_ATTRS: tuple = ()
+
+    def save_state(self) -> dict:
+        from repro.common.state import save_attrs, save_stats
+
+        state = save_attrs(self, self._STATE_ATTRS)
+        state["stats"] = save_stats(self.stats)
+        return state
+
+    def load_state(self, state: dict) -> None:
+        from repro.common.state import load_attrs, load_stats
+
+        load_attrs(self, state, self._STATE_ATTRS)
+        load_stats(self.stats, state["stats"])
+
 
 class TwoLevelAdmissionPredictor(AdmissionPredictor):
     """The HRT + PT structure of Figure 4."""
@@ -179,6 +201,8 @@ class TwoLevelAdmissionPredictor(AdmissionPredictor):
         self._queued = 0
         self.stats = AdmissionStats()
 
+    _STATE_ATTRS = ("hrt", "pt", "_queues", "_queued")
+
 
 class GlobalHistoryAdmissionPredictor(AdmissionPredictor):
     """Figure 17 ablation: one global history register, shared by all blocks.
@@ -218,6 +242,8 @@ class GlobalHistoryAdmissionPredictor(AdmissionPredictor):
         self.history = 0
         self.pt = [self.threshold] * len(self.pt)
         self.stats = AdmissionStats()
+
+    _STATE_ATTRS = ("history", "pt")
 
 
 class BimodalAdmissionPredictor(AdmissionPredictor):
@@ -264,6 +290,8 @@ class BimodalAdmissionPredictor(AdmissionPredictor):
     def reset(self) -> None:
         self.table = [self.threshold] * len(self.table)
         self.stats = AdmissionStats()
+
+    _STATE_ATTRS = ("table",)
 
 
 class AlwaysAdmitPredictor(AdmissionPredictor):

@@ -52,6 +52,21 @@ class BimodalPredictor:
         elif self.table[idx] > 0:
             self.table[idx] -= 1
 
+    # -- checkpoint/resume --------------------------------------------------
+
+    def save_state(self) -> dict:
+        from repro.common.state import save_attrs, save_stats
+
+        state = save_attrs(self, ("table",))
+        state["stats"] = save_stats(self.stats)
+        return state
+
+    def load_state(self, state: dict) -> None:
+        from repro.common.state import load_attrs, load_stats
+
+        load_attrs(self, state, ("table",))
+        load_stats(self.stats, state["stats"])
+
 
 class GsharePredictor:
     """Global-history XOR site indexing into one counter table."""
@@ -85,6 +100,21 @@ class GsharePredictor:
         elif self.table[idx] > 0:
             self.table[idx] -= 1
         self.ghr = ((self.ghr << 1) | int(taken)) & mask(self.history_bits)
+
+    # -- checkpoint/resume --------------------------------------------------
+
+    def save_state(self) -> dict:
+        from repro.common.state import save_attrs, save_stats
+
+        state = save_attrs(self, ("table", "ghr"))
+        state["stats"] = save_stats(self.stats)
+        return state
+
+    def load_state(self, state: dict) -> None:
+        from repro.common.state import load_attrs, load_stats
+
+        load_attrs(self, state, ("table", "ghr"))
+        load_stats(self.stats, state["stats"])
 
 
 class _TageEntry:
@@ -212,3 +242,23 @@ class TagePredictor:
         self.base = BimodalPredictor(table_bits=12, counter_bits=2)
         self.ghr = 0
         self.stats = PredictorStats()
+
+    # -- checkpoint/resume --------------------------------------------------
+    #
+    # ``_TageEntry`` is a module-level __slots__ class, so the tagged
+    # tables deepcopy and pickle cleanly; the bimodal base delegates.
+
+    def save_state(self) -> dict:
+        from repro.common.state import save_attrs, save_stats
+
+        state = save_attrs(self, ("tables", "ghr", "_alloc_seed"))
+        state["base"] = self.base.save_state()
+        state["stats"] = save_stats(self.stats)
+        return state
+
+    def load_state(self, state: dict) -> None:
+        from repro.common.state import load_attrs, load_stats
+
+        load_attrs(self, state, ("tables", "ghr", "_alloc_seed"))
+        self.base.load_state(state["base"])
+        load_stats(self.stats, state["stats"])

@@ -164,3 +164,23 @@ class EntanglingPrefetcher:
                 dests.pop(0)
             dests.append(block)
             self.stats.entangled += 1
+
+    # -- checkpoint/resume --------------------------------------------------
+    #
+    # The trace (and its cached block list) is externally owned.  The
+    # recent-fetch ring deepcopies as a deque, maxlen included.
+
+    def save_state(self) -> dict:
+        from repro.common.state import save_attrs, save_stats
+
+        state = save_attrs(self, ("_recent", "_now"))
+        state["table"] = self.table.save_state()
+        state["stats"] = save_stats(self.stats)
+        return state
+
+    def load_state(self, state: dict) -> None:
+        from repro.common.state import load_attrs, load_stats
+
+        load_attrs(self, state, ("_recent", "_now"))
+        self.table.load_state(state["table"])
+        load_stats(self.stats, state["stats"])

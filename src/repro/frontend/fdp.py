@@ -85,6 +85,22 @@ class FetchDirectedPrefetcher:
     def on_demand_miss(self, block: int, cycle: int) -> None:
         pass
 
+    # -- checkpoint/resume --------------------------------------------------
+    #
+    # The trace and the shared branch stack are externally owned; the
+    # stack is serialized by the engine, not here.
+
+    def save_state(self) -> dict:
+        from repro.common.state import save_stats
+
+        return {"ra": self._ra, "stats": save_stats(self.stats)}
+
+    def load_state(self, state: dict) -> None:
+        from repro.common.state import load_stats
+
+        self._ra = state["ra"]
+        load_stats(self.stats, state["stats"])
+
 
 class NullPrefetcher:
     """No prefetching (unit tests and the no-prefetch ablation)."""
@@ -101,4 +117,10 @@ class NullPrefetcher:
         pass
 
     def on_demand_miss(self, block: int, cycle: int) -> None:
+        pass
+
+    def save_state(self) -> dict:
+        return {}
+
+    def load_state(self, state: dict) -> None:
         pass

@@ -161,6 +161,8 @@ def write_sidecar_dir(
     readable meta is never trusted.  Best effort: a lost race against a
     concurrent writer leaves the winner's sidecar in place.
     """
+    from repro.common.faults import fire
+
     tmp = dirpath.with_name(f"{dirpath.name}.{os.getpid()}.tmp")
     shutil.rmtree(tmp, ignore_errors=True)
     tmp.mkdir(parents=True)
@@ -172,6 +174,10 @@ def write_sidecar_dir(
         os.replace(tmp, dirpath)
     except OSError:
         shutil.rmtree(tmp, ignore_errors=True)
+        return
+    # Fault hook fires after the commit so injected damage (truncated
+    # meta, stale fingerprint) lands on the file readers will trust.
+    fire("sidecar", str(dirpath / "meta.json"))
 
 
 def read_sidecar_dir(
@@ -181,9 +187,20 @@ def read_sidecar_dir(
 
     Raises on any unreadable piece (missing/truncated arrays, bad
     meta); callers treat that as corruption, discard the sidecar and
-    fall back to the ``.npz``.
+    fall back to the ``.npz``.  The two classic torn-write shapes — a
+    zero-byte ``meta.json`` (the commit marker made it to the directory
+    but not to disk) and a directory missing one of its arrays — are
+    detected up front and raised as ``ValueError`` so the discard path
+    never depends on which exception a particular numpy/json version
+    throws.
     """
-    meta = json.loads((dirpath / "meta.json").read_text())
+    meta_path = dirpath / "meta.json"
+    if not meta_path.exists() or meta_path.stat().st_size == 0:
+        raise ValueError(f"sidecar {dirpath} has empty or missing meta.json")
+    missing = [name for name in fields if not (dirpath / f"{name}.npy").exists()]
+    if missing:
+        raise ValueError(f"sidecar {dirpath} is missing arrays: {missing}")
+    meta = json.loads(meta_path.read_text())
     arrays = {
         name: np.load(dirpath / f"{name}.npy", mmap_mode="r")
         for name in fields

@@ -116,3 +116,28 @@ class BranchStack:
         # RETURN needs no training.
         self._verdicts.pop(i, None)
         return mispredicted
+
+    # -- checkpoint/resume --------------------------------------------------
+    #
+    # The trace (and its cached list views) is externally owned and NOT
+    # part of the state; verdict memos ARE state — a verdict is evaluated
+    # with the predictor state current at first query, which a resumed
+    # run cannot re-create.
+
+    def save_state(self) -> dict:
+        from repro.common.state import save_stats, snapshot
+
+        return {
+            "btb": self.btb.save_state(),
+            "predictor": self.predictor.save_state(),
+            "stats": save_stats(self.stats),
+            "verdicts": snapshot(self._verdicts),
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.common.state import load_dict_inplace, load_stats
+
+        self.btb.load_state(state["btb"])
+        self.predictor.load_state(state["predictor"])
+        load_stats(self.stats, state["stats"])
+        load_dict_inplace(self._verdicts, state["verdicts"])

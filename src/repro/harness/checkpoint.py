@@ -1,0 +1,170 @@
+"""Windowed simulation: engine checkpoints serialized beside the cache.
+
+With ``REPRO_CHECKPOINT_EVERY=<records>`` set, :func:`run_experiment`
+snapshots the timing engine's warm state every that-many records (the
+loop counters plus ``save_state()`` of every stateful collaborator —
+see :func:`repro.uarch.timing.simulate`) into a fingerprinted file
+under ``<results cache>/checkpoints/``.  A rerun of the same
+(workload, scheme, prefetcher, records, machine, trace) tuple resumes
+from the newest valid checkpoint and produces scalars bit-identical to
+an undisturbed single pass (``tests/test_checkpoint.py`` pins this);
+the file is deleted when the run completes.
+
+Checkpoints are written with write-then-rename, so a crash mid-write
+leaves the previous checkpoint intact; anything unreadable, of the
+wrong format version, or carrying a foreign fingerprint is discarded
+and the run starts from record 0 — a checkpoint is a shortcut, never a
+correctness dependency.  The default (``0``/unset) disables the
+machinery entirely: ``simulate`` keeps its single-pass hot loop and no
+files are touched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Optional
+
+from repro.common.faults import fire
+
+#: Bump when the engine state layout changes; older files are discarded.
+CHECKPOINT_FORMAT = 1
+
+
+def checkpoint_every() -> int:
+    """Records between engine checkpoints (REPRO_CHECKPOINT_EVERY, 0 = off)."""
+    env = os.environ.get("REPRO_CHECKPOINT_EVERY", "").strip()
+    if not env:
+        return 0
+    every = int(env)
+    if every < 0:
+        raise ValueError(
+            f"REPRO_CHECKPOINT_EVERY must be >= 0, got {every}"
+        )
+    return every
+
+
+def checkpoints_dir() -> Path:
+    """Checkpoint directory, beside the results cache.
+
+    Honours ``REPRO_RESULT_CACHE`` exactly as the sweep runner's results
+    directory does (kept inline to stay import-cycle-free with it).
+    """
+    env = os.environ.get("REPRO_RESULT_CACHE")
+    if env:
+        return Path(env) / "checkpoints"
+    return (
+        Path(__file__).resolve().parents[3] / ".cache" / "results" / "checkpoints"
+    )
+
+
+def run_fingerprint(
+    workload: str,
+    scheme: str,
+    prefetcher_key: str,
+    records: int,
+    machine_fingerprint: str,
+    trace_digest: str,
+    mode: str,
+) -> str:
+    """Identity of one resumable run; any ingredient change invalidates.
+
+    ``mode`` distinguishes the live and planned engine paths (their
+    states are not interchangeable) and, for entangling runs, the plan
+    mode.  The trace digest ties the checkpoint to the exact record
+    stream it was captured from.
+    """
+    text = "|".join(
+        (
+            f"ckpt{CHECKPOINT_FORMAT}",
+            workload,
+            scheme,
+            prefetcher_key,
+            str(records),
+            machine_fingerprint,
+            trace_digest,
+            mode,
+        )
+    )
+    return hashlib.sha1(text.encode()).hexdigest()[:16]
+
+
+class CheckpointStore:
+    """One run's checkpoint file: load, periodic write, clear-on-finish."""
+
+    def __init__(self, path: Path, fingerprint: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+
+    def load(self) -> Optional[dict]:
+        """The engine state of the newest valid checkpoint, else None.
+
+        Corrupt, truncated, wrong-format or foreign-fingerprint files
+        are unlinked: a rebuilt checkpoint costs one window of
+        recomputation; a trusted-but-wrong one costs correctness.
+        """
+        try:
+            payload = pickle.loads(self.path.read_bytes())
+            if (
+                payload["format"] != CHECKPOINT_FORMAT
+                or payload["fingerprint"] != self.fingerprint
+            ):
+                raise ValueError("stale checkpoint")
+            return payload["state"]
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self.path.unlink(missing_ok=True)
+            return None
+
+    def write(self, state: dict) -> bool:
+        """``on_checkpoint`` hook: persist ``state``; always continues.
+
+        Write-then-rename keeps the previous checkpoint intact under a
+        crash mid-write; the fault hook fires *after* the rename so
+        injected truncation mangles the committed file — exactly the
+        damage :meth:`load` must survive.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "fingerprint": self.fingerprint,
+            "state": state,
+        }
+        tmp = self.path.with_name(f"{self.path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_bytes(pickle.dumps(payload))
+            os.replace(tmp, self.path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        fire("checkpoint", str(self.path))
+        return False
+
+    def clear(self) -> None:
+        """Delete the checkpoint (the run it covered has completed)."""
+        self.path.unlink(missing_ok=True)
+
+
+def store_for(
+    workload: str,
+    scheme: str,
+    prefetcher_key: str,
+    records: int,
+    machine_fingerprint: str,
+    trace_digest: str,
+    mode: str,
+) -> CheckpointStore:
+    """The checkpoint store for one run identity."""
+    fingerprint = run_fingerprint(
+        workload,
+        scheme,
+        prefetcher_key,
+        records,
+        machine_fingerprint,
+        trace_digest,
+        mode,
+    )
+    name = f"{workload}.{scheme}.{fingerprint}.ckpt"
+    return CheckpointStore(checkpoints_dir() / name, fingerprint)

@@ -19,6 +19,7 @@ from repro.frontend.entangling_plan import (
 from repro.frontend.fdp import FetchDirectedPrefetcher, NullPrefetcher
 from repro.frontend.plan import cached_plan, plannable
 from repro.frontend.stack import BranchStack
+from repro.harness.checkpoint import checkpoint_every, store_for
 from repro.harness.schemes import SchemeContext, make_scheme
 from repro.uarch.params import DEFAULT_MACHINE, MachineParams
 from repro.uarch.timing import RunResult, simulate
@@ -117,9 +118,44 @@ def run_experiment(
     scheme_obj = make_scheme(scheme, context)
     if use_plan is None:
         use_plan = _plans_enabled()
+
+    every = checkpoint_every()
+
+    def _sim(mode: str, **kwargs):
+        """Run ``simulate``, windowed through a checkpoint store when on.
+
+        With REPRO_CHECKPOINT_EVERY unset this is a plain call; with it
+        set, the engine resumes from the newest valid checkpoint for
+        this exact run identity, snapshots every ``every`` records, and
+        drops the file once the run completes.  A resumed run is pinned
+        bit-identical to a single pass by ``tests/test_checkpoint.py``.
+        """
+        if every <= 0:
+            return simulate(trace, scheme_obj, machine=machine, **kwargs)
+        store = store_for(
+            workload,
+            scheme,
+            prefetcher,
+            records,
+            machine.fingerprint(),
+            trace.digest,
+            mode,
+        )
+        run = simulate(
+            trace,
+            scheme_obj,
+            machine=machine,
+            resume=store.load(),
+            checkpoint_every=every,
+            on_checkpoint=store.write,
+            **kwargs,
+        )
+        store.clear()
+        return run
+
     if use_plan and plannable(prefetcher):
         plan = cached_plan(trace, machine, prefetcher)
-        run = simulate(trace, scheme_obj, machine=machine, plan=plan)
+        run = _sim("planned", plan=plan)
     elif (
         use_plan
         and prefetcher == "entangling"
@@ -139,13 +175,16 @@ def run_experiment(
             else (lambda: make_scheme(reference, context)),
         )
         if fresh is not None and reference == scheme:
-            run = fresh  # pass 1 doubles as this run: no replay needed
+            # Pass 1 doubles as this run.  The recording pass is driven
+            # by the plan builder, not by us, so it is never windowed —
+            # checkpointing covers its replays.
+            run = fresh
         else:
-            run = simulate(trace, scheme_obj, machine=machine, plan=plan)
+            run = _sim(f"planned-{entangling_plan_mode()}", plan=plan)
     else:
         stack = BranchStack(trace)
         prefetcher_obj = build_prefetcher(prefetcher, trace, stack, machine)
-        run = simulate(trace, scheme_obj, prefetcher_obj, stack, machine)
+        run = _sim("live", prefetcher=prefetcher_obj, stack=stack)
     run.workload = workload
     return ExperimentResult(
         run=run,

@@ -1,0 +1,30 @@
+"""Fault-injection harness surface (see :mod:`repro.common.faults`).
+
+The implementation lives in ``repro.common`` so leaf modules (the trace
+and plan writers) can hook sites without importing the harness; this
+module re-exports the public API at the documented path.
+"""
+
+from __future__ import annotations
+
+from repro.common.faults import (
+    HANG_SECONDS,
+    KINDS,
+    SITES,
+    STALE_BYTES,
+    FaultInjected,
+    FaultPlan,
+    fire,
+    reset,
+)
+
+__all__ = [
+    "HANG_SECONDS",
+    "KINDS",
+    "SITES",
+    "STALE_BYTES",
+    "FaultInjected",
+    "FaultPlan",
+    "fire",
+    "reset",
+]

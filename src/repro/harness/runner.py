@@ -42,11 +42,14 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.common import faults
 from repro.frontend.entangling_plan import (
     ENTANGLING_REFERENCE_SCHEME,
     cached_entangling_plan,
@@ -91,6 +94,100 @@ def _default_jobs() -> int:
     return 1
 
 
+def _sweep_timeout() -> float:
+    """Progress deadline in seconds (REPRO_SWEEP_TIMEOUT, 0 = disabled).
+
+    The parent declares the pool hung when *no* future completes within
+    this window — a per-progress deadline, not a per-job one, so slow
+    workloads don't trip it as long as the pool keeps finishing work.
+    """
+    env = os.environ.get("REPRO_SWEEP_TIMEOUT", "").strip()
+    if not env:
+        return 0.0
+    seconds = float(env)
+    if seconds < 0:
+        raise ValueError(f"REPRO_SWEEP_TIMEOUT must be >= 0, got {seconds}")
+    return seconds
+
+
+def _sweep_retries() -> int:
+    """Requeue budget per pair after a crash/stall (REPRO_SWEEP_RETRIES)."""
+    env = os.environ.get("REPRO_SWEEP_RETRIES", "").strip()
+    if not env:
+        return 3
+    retries = int(env)
+    if retries < 0:
+        raise ValueError(f"REPRO_SWEEP_RETRIES must be >= 0, got {retries}")
+    return retries
+
+
+def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
+    """SIGKILL a broken/hung pool's workers before abandoning it.
+
+    Pool workers are non-daemonic: merely shutting down with
+    ``wait=False`` would leave a wedged worker alive (and the
+    interpreter waiting on it at exit).  Reaches into the private
+    process table — there is no public enumeration — and tolerates
+    workers that already died.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.kill()
+        except Exception:
+            pass
+
+
+class _SweepJournal:
+    """Append-only JSON-lines log of completed sweep pairs.
+
+    One line per (workload, scheme) completion, flushed and fsynced at
+    write time so entries survive a SIGKILLed parent.  ``replay``
+    tolerates a torn final line (a kill mid-append) and foreign junk by
+    skipping anything unparsable — the worst case is re-simulating one
+    pair.  The file is deleted when its sweep call completes; a
+    surviving journal therefore means a crashed sweep, which
+    ``Runner.sweep(resume=True)`` picks up.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._fh = None
+
+    def record(self, workload: str, scheme: str, result: RunResult) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a")
+        entry = {
+            "workload": workload,
+            "scheme": scheme,
+            "scalars": {k: getattr(result, k) for k in _SCALAR_FIELDS},
+        }
+        self._fh.write(json.dumps(entry) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def replay(self) -> Iterator[Tuple[str, str, Dict[str, object]]]:
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return
+        for line in lines:
+            try:
+                entry = json.loads(line)
+                scalars = {k: entry["scalars"][k] for k in _SCALAR_FIELDS}
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue
+            yield entry["workload"], entry["scheme"], scalars
+
+    def finish(self) -> None:
+        """Close and delete: every pair of this sweep call is accounted for."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        self.path.unlink(missing_ok=True)
+
+
 #: Per-process resident sweep state: the configuration the pool
 #: initializer installs plus one SchemeContext per workload seen, so a
 #: worker deserializes each workload's trace/plan/oracle at most once.
@@ -111,6 +208,9 @@ def _sweep_worker_init(
     _WORKER_STATE["records"] = records
     _WORKER_STATE["machine"] = machine
     _WORKER_STATE["contexts"] = OrderedDict()
+    # Fault arrival counters are per-process; a forked worker must count
+    # its own arrivals, not inherit the parent's.
+    faults.reset()
 
 
 def _worker_context(workload: str) -> SchemeContext:
@@ -143,6 +243,7 @@ def _sweep_worker(pair: Tuple[str, str]) -> Tuple[str, str, Dict[str, object]]:
     frontend plan persist in the worker across pairs.
     """
     workload, scheme = pair
+    faults.fire("worker")
     run = run_experiment(
         workload,
         scheme,
@@ -181,6 +282,11 @@ class Runner:
         self.use_disk_cache = use_disk_cache
         self._memory: Dict[Tuple[str, str], RunResult] = {}
         self._contexts: Dict[str, SchemeContext] = {}
+        #: Disk entries discarded as corrupt/stale by :meth:`_load_disk`
+        #: over this Runner's lifetime (tests assert on it; a nonzero
+        #: value after a clean run means something is mangling the
+        #: results cache).
+        self.disk_cache_rejects = 0
 
     # -- caching ------------------------------------------------------------
 
@@ -228,6 +334,7 @@ class Runner:
             # destroying what the writer may still be producing.
             return None
         except (json.JSONDecodeError, KeyError, TypeError):
+            self.disk_cache_rejects += 1
             path.unlink(missing_ok=True)
             return None
 
@@ -341,11 +448,20 @@ class Runner:
             self.run(workload, baseline)
         )
 
+    def _journal_path(self) -> Path:
+        """The sweep journal for this Runner's configuration."""
+        name = (
+            f"sweep.{self._prefetcher_cache_key()}.r{self.records}"
+            f".{self.machine.fingerprint()}.journal"
+        )
+        return _results_dir() / name
+
     def sweep(
         self,
         workloads: Iterable[str],
         schemes: Iterable[str],
         jobs: Optional[int] = None,
+        resume: bool = False,
     ) -> Dict[Tuple[str, str], RunResult]:
         """Run the full cross product; returns {(workload, scheme): result}.
 
@@ -360,6 +476,20 @@ class Runner:
         sweep: the engine is deterministic and workers only return
         scalar measurements, which the parent installs in both cache
         layers.
+
+        Crash safety (``tests/test_fault_injection.py`` pins recovered
+        sweeps scalar-identical to undisturbed ones): every completed
+        pair is appended to a per-configuration journal beside the
+        results cache; dead workers (the pool breaks) and hung pools
+        (no completion within ``REPRO_SWEEP_TIMEOUT`` seconds) are
+        killed and their unfinished pairs requeued into a rebuilt pool
+        with exponential backoff, each pair at most
+        ``REPRO_SWEEP_RETRIES`` times.  ``resume=True`` replays a
+        previous (killed) sweep's journal into the caches first, so
+        only genuinely unfinished pairs are resimulated — combined
+        with ``REPRO_CHECKPOINT_EVERY``, even a pair that died mid-run
+        restarts from its last engine checkpoint.  The journal is
+        deleted when the sweep call completes.
         """
         workloads = list(workloads)
         schemes = list(schemes)
@@ -368,6 +498,12 @@ class Runner:
         elif jobs <= 0:
             raise ValueError(f"jobs must be positive, got {jobs}")
         pairs = [(w, s) for w in workloads for s in schemes]
+
+        journal = _SweepJournal(self._journal_path())
+        if resume:
+            for workload, scheme, scalars in journal.replay():
+                if self._cached(workload, scheme) is None:
+                    self._admit(workload, scheme, RunResult(**scalars))
 
         pending = sorted(
             (w, s)
@@ -385,13 +521,92 @@ class Runner:
             # generation and branch-stack/FDP replay N times.
             for workload in sorted({w for w, _ in pending}):
                 self.context_for(workload)
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(pending)),
+            self._sweep_parallel(pending, jobs, journal)
+        else:
+            for workload, scheme in pending:
+                journal.record(workload, scheme, self.run(workload, scheme))
+        results = {(w, s): self.run(w, s) for w, s in pairs}
+        journal.finish()
+        return results
+
+    def _sweep_parallel(
+        self,
+        pending: List[Tuple[str, str]],
+        jobs: int,
+        journal: _SweepJournal,
+    ) -> None:
+        """Supervised parallel execution of ``pending`` pairs.
+
+        Each round submits the work queue to a fresh pool and collects
+        completions as they arrive.  Three failure classes are handled:
+
+        * a *failed job* (the worker raised) — requeue just that pair;
+        * a *dead worker* (``BrokenProcessPool``: someone was killed,
+          e.g. OOM) — the executor is unusable, requeue all unfinished;
+        * a *hung pool* (nothing completed within the
+          ``REPRO_SWEEP_TIMEOUT`` progress deadline) — SIGKILL the
+          workers (they are non-daemonic and would otherwise keep the
+          interpreter alive), requeue all unfinished.
+
+        Requeued pairs retry in a rebuilt pool after exponential
+        backoff; a pair that fails more than ``REPRO_SWEEP_RETRIES``
+        times raises, so a deterministic crash cannot loop forever.
+        """
+        timeout = _sweep_timeout()
+        retries = _sweep_retries()
+        attempts: Dict[Tuple[str, str], int] = {}
+        queue = list(pending)
+        round_number = 0
+        while queue:
+            round_number += 1
+            if round_number > 1:
+                time.sleep(min(0.1 * 2 ** (round_number - 2), 2.0))
+            pool = ProcessPoolExecutor(
+                max_workers=min(jobs, len(queue)),
                 initializer=_sweep_worker_init,
                 initargs=(self.prefetcher, self.records, self.machine),
-            ) as pool:
-                futures = [pool.submit(_sweep_worker, p) for p in pending]
-                for future in as_completed(futures):
-                    workload, scheme, scalars = future.result()
-                    self._admit(workload, scheme, RunResult(**scalars))
-        return {(w, s): self.run(w, s) for w, s in pairs}
+            )
+            futures = {pool.submit(_sweep_worker, p): p for p in queue}
+            queue = []
+            failed: List[Tuple[str, str]] = []
+            broken = False
+            remaining = set(futures)
+            try:
+                while remaining:
+                    done, remaining = wait(
+                        remaining,
+                        timeout=timeout if timeout > 0 else None,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not done:
+                        broken = True  # progress deadline exceeded
+                        break
+                    for future in done:
+                        pair = futures[future]
+                        try:
+                            workload, scheme, scalars = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            failed.append(pair)
+                        except Exception:
+                            failed.append(pair)
+                        else:
+                            result = RunResult(**scalars)
+                            self._admit(workload, scheme, result)
+                            journal.record(workload, scheme, result)
+                    if broken:
+                        break
+            finally:
+                if broken:
+                    _kill_pool_workers(pool)
+                pool.shutdown(wait=not broken, cancel_futures=True)
+            requeue = failed + [futures[f] for f in remaining]
+            for pair in requeue:
+                count = attempts.get(pair, 0) + 1
+                attempts[pair] = count
+                if count > retries:
+                    raise RuntimeError(
+                        f"sweep pair {pair} failed {count} times "
+                        f"(REPRO_SWEEP_RETRIES={retries}); giving up"
+                    )
+            queue = sorted(set(requeue))

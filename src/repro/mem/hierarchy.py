@@ -139,3 +139,21 @@ class MemoryHierarchy:
         self._l2.clear()
         self._l3.clear()
         self.stats = HierarchyStats()
+
+    # -- checkpoint/resume --------------------------------------------------
+
+    def save_state(self) -> dict:
+        from repro.common.state import save_stats, snapshot
+
+        return {
+            "l2": snapshot(self._l2),
+            "l3": snapshot(self._l3),
+            "stats": save_stats(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.common.state import load_dict_inplace, load_stats
+
+        load_dict_inplace(self._l2, state["l2"])
+        load_dict_inplace(self._l3, state["l3"])
+        load_stats(self.stats, state["stats"])

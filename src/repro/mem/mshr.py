@@ -157,3 +157,27 @@ class MSHRFile:
         self._deferred.clear()
         self._min_ready = _NEVER
         self.stats = MSHRStats()
+
+    # -- checkpoint/resume --------------------------------------------------
+
+    def save_state(self) -> dict:
+        from repro.common.state import save_stats, snapshot
+
+        return {
+            "pending": snapshot(self._pending),
+            "deferred": snapshot(self._deferred),
+            "min_ready": self._min_ready,
+            "stats": save_stats(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.common.state import (
+            load_dict_inplace,
+            load_list_inplace,
+            load_stats,
+        )
+
+        load_dict_inplace(self._pending, state["pending"])
+        load_list_inplace(self._deferred, state["deferred"])
+        self._min_ready = state["min_ready"]
+        load_stats(self.stats, state["stats"])

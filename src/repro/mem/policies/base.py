@@ -67,3 +67,17 @@ class ReplacementPolicy(ABC):
 
     def reset(self) -> None:
         """Drop all learned state.  Default: nothing."""
+
+    # -- checkpoint/resume --------------------------------------------------
+    #
+    # Stateless policies (LRU: the cache's recency order is the state)
+    # inherit these no-ops; stateful ones override both.  load_state
+    # must restore *in place* — the owning cache caches the policy's
+    # bound ``on_hit`` method, so the instance must stay the same.
+
+    def save_state(self) -> dict:
+        """Snapshot all learned replacement state (picklable, detached)."""
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a state captured by :meth:`save_state` in place."""

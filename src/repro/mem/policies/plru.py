@@ -103,3 +103,15 @@ class TreePLRUPolicy(ReplacementPolicy):
         self._tree.clear()
         self._way_of.clear()
         self._block_at.clear()
+
+    _STATE_ATTRS = ("_tree", "_way_of", "_block_at")
+
+    def save_state(self) -> dict:
+        from repro.common.state import save_attrs
+
+        return save_attrs(self, self._STATE_ATTRS)
+
+    def load_state(self, state: dict) -> None:
+        from repro.common.state import load_attrs
+
+        load_attrs(self, state, self._STATE_ATTRS)

@@ -36,3 +36,9 @@ class RandomPolicy(ReplacementPolicy):
 
     def reset(self) -> None:
         self._rng = random.Random(self._seed)
+
+    def save_state(self) -> dict:
+        return {"rng": self._rng.getstate()}
+
+    def load_state(self, state: dict) -> None:
+        self._rng.setstate(state["rng"])

@@ -66,3 +66,15 @@ class SRRIPPolicy(ReplacementPolicy):
 
     def reset(self) -> None:
         self._rrpv.clear()
+
+    _STATE_ATTRS = ("_rrpv",)
+
+    def save_state(self) -> dict:
+        from repro.common.state import save_attrs
+
+        return save_attrs(self, self._STATE_ATTRS)
+
+    def load_state(self, state: dict) -> None:
+        from repro.common.state import load_attrs
+
+        load_attrs(self, state, self._STATE_ATTRS)

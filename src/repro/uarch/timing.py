@@ -104,6 +104,22 @@ class RunResult:
         return 100.0 * (baseline.mpki - self.mpki) / baseline.mpki
 
 
+#: Loop counters serialized into an engine checkpoint, in capture order.
+_COUNTER_FIELDS = (
+    "cycles",
+    "queue",
+    "demand_misses",
+    "late_prefetch",
+    "prefetches_issued",
+    "instructions",
+    "base_cycles",
+    "base_misses",
+    "base_late",
+    "base_issued",
+    "base_instr",
+)
+
+
 def simulate(
     trace: Trace,
     scheme: L1IScheme,
@@ -112,7 +128,10 @@ def simulate(
     machine: Optional[MachineParams] = None,
     hierarchy: Optional[MemoryHierarchy] = None,
     plan: Optional["AnyPlan"] = None,
-) -> RunResult:
+    resume: Optional[dict] = None,
+    checkpoint_every: int = 0,
+    on_checkpoint=None,
+) -> Optional[RunResult]:
     """Run ``scheme`` over ``trace`` and return post-warmup measurements.
 
     Two frontend modes (pinned against each other by
@@ -139,6 +158,22 @@ def simulate(
     precomputed branch-kind list, and the MSHR drain is gated on the
     file's running *next-ready cycle* instead of probing its occupancy
     every record.
+
+    Checkpoint/resume (``tests/test_checkpoint.py`` pins chunked runs
+    bit-identical to single-pass): with ``checkpoint_every > 0`` the
+    engine captures its full warm state — loop counters plus the
+    ``save_state()`` of every stateful collaborator — at the top of each
+    iteration whose absolute index is a multiple of ``checkpoint_every``
+    (state == completion of records ``0..i-1``), *before* the warmup
+    snapshot branch so a resume landing exactly on ``warmup_end``
+    re-derives the base counters identically.  ``on_checkpoint(state)``
+    receives each capture; returning truthy stops the run early and
+    ``simulate`` returns None.  ``resume`` takes such a state and
+    continues from its ``next_record``; the engine restores its own
+    collaborators (it constructs the MSHR/hierarchy), so callers only
+    rebuild the scheme/stack/prefetcher fresh from their factories.
+    The default ``checkpoint_every=0`` keeps the hot loop at one extra
+    integer compare per record.
     """
     if machine is None:
         raise TypeError("simulate() requires machine parameters")
@@ -148,7 +183,16 @@ def simulate(
                 "pass either a precomputed plan or a live prefetcher/stack, "
                 "not both"
             )
-        return _simulate_planned(trace, scheme, machine, hierarchy, plan)
+        return _simulate_planned(
+            trace,
+            scheme,
+            machine,
+            hierarchy,
+            plan,
+            resume=resume,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+        )
     if prefetcher is None or stack is None:
         raise TypeError(
             "simulate() needs a prefetcher and a stack when no plan is given"
@@ -187,7 +231,6 @@ def simulate(
     late_prefetch = 0
     prefetches_issued = 0
     instructions = 0
-    next_ready = mshr.next_ready
 
     # Snapshots taken when warmup ends.
     base_cycles = 0.0
@@ -197,7 +240,60 @@ def simulate(
     base_instr = 0
     base_mispred = 0
 
-    for i in range(n):
+    start = 0
+    if resume is not None:
+        if resume.get("mode") != "live":
+            raise ValueError(
+                f"resume state is {resume.get('mode')!r}, this is a live run"
+            )
+        start = resume["next_record"]
+        counters = resume["counters"]
+        (cycles, queue, demand_misses, late_prefetch, prefetches_issued,
+         instructions, base_cycles, base_misses, base_late, base_issued,
+         base_instr) = (counters[k] for k in _COUNTER_FIELDS)
+        base_mispred = counters["base_mispred"]
+        scheme.load_state(resume["scheme"])
+        mshr.load_state(resume["mshr"])
+        hierarchy.load_state(resume["hierarchy"])
+        stack.load_state(resume["stack"])
+        prefetcher.load_state(resume["prefetcher"])
+    next_ready = mshr.next_ready
+
+    if checkpoint_every > 0:
+        # Next absolute multiple strictly past the starting record.
+        next_ckpt = (start // checkpoint_every + 1) * checkpoint_every
+    else:
+        next_ckpt = n + 1  # never taken: one dead int compare per record
+
+    for i in range(start, n):
+        if i == next_ckpt:
+            next_ckpt += checkpoint_every
+            state = {
+                "mode": "live",
+                "next_record": i,
+                "counters": {
+                    "cycles": cycles,
+                    "queue": queue,
+                    "demand_misses": demand_misses,
+                    "late_prefetch": late_prefetch,
+                    "prefetches_issued": prefetches_issued,
+                    "instructions": instructions,
+                    "base_cycles": base_cycles,
+                    "base_misses": base_misses,
+                    "base_late": base_late,
+                    "base_issued": base_issued,
+                    "base_instr": base_instr,
+                    "base_mispred": base_mispred,
+                },
+                "scheme": scheme.save_state(),
+                "mshr": mshr.save_state(),
+                "hierarchy": hierarchy.save_state(),
+                "stack": stack.save_state(),
+                "prefetcher": prefetcher.save_state(),
+            }
+            if on_checkpoint is not None and on_checkpoint(state):
+                return None
+
         if i == warmup_end:
             base_cycles = cycles
             base_misses = demand_misses
@@ -297,7 +393,10 @@ def _simulate_planned(
     machine: MachineParams,
     hierarchy: Optional[MemoryHierarchy],
     plan: "AnyPlan",
-) -> RunResult:
+    resume: Optional[dict] = None,
+    checkpoint_every: int = 0,
+    on_checkpoint=None,
+) -> Optional[RunResult]:
     """The planned twin of the live loop in :func:`simulate`.
 
     Branch flushes come from ``plan.mispredict`` and the prefetch
@@ -353,7 +452,6 @@ def _simulate_planned(
     late_prefetch = 0
     prefetches_issued = 0
     instructions = 0
-    next_ready = mshr.next_ready
 
     base_cycles = 0.0
     base_misses = 0
@@ -361,7 +459,53 @@ def _simulate_planned(
     base_issued = 0
     base_instr = 0
 
-    for i in range(n):
+    start = 0
+    if resume is not None:
+        if resume.get("mode") != "planned":
+            raise ValueError(
+                f"resume state is {resume.get('mode')!r}, this is a planned run"
+            )
+        start = resume["next_record"]
+        counters = resume["counters"]
+        (cycles, queue, demand_misses, late_prefetch, prefetches_issued,
+         instructions, base_cycles, base_misses, base_late, base_issued,
+         base_instr) = (counters[k] for k in _COUNTER_FIELDS)
+        scheme.load_state(resume["scheme"])
+        mshr.load_state(resume["mshr"])
+        hierarchy.load_state(resume["hierarchy"])
+    next_ready = mshr.next_ready
+
+    if checkpoint_every > 0:
+        next_ckpt = (start // checkpoint_every + 1) * checkpoint_every
+    else:
+        next_ckpt = n + 1
+
+    for i in range(start, n):
+        if i == next_ckpt:
+            next_ckpt += checkpoint_every
+            state = {
+                "mode": "planned",
+                "next_record": i,
+                "counters": {
+                    "cycles": cycles,
+                    "queue": queue,
+                    "demand_misses": demand_misses,
+                    "late_prefetch": late_prefetch,
+                    "prefetches_issued": prefetches_issued,
+                    "instructions": instructions,
+                    "base_cycles": base_cycles,
+                    "base_misses": base_misses,
+                    "base_late": base_late,
+                    "base_issued": base_issued,
+                    "base_instr": base_instr,
+                },
+                "scheme": scheme.save_state(),
+                "mshr": mshr.save_state(),
+                "hierarchy": hierarchy.save_state(),
+            }
+            if on_checkpoint is not None and on_checkpoint(state):
+                return None
+
         if i == warmup_end:
             base_cycles = cycles
             base_misses = demand_misses

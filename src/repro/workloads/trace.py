@@ -178,6 +178,11 @@ class Trace:
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
+        from repro.common.faults import fire
+
+        # After the rename: injected damage lands on the committed npz,
+        # which is exactly what cached_trace must discard and rebuild.
+        fire("trace-npz", str(path))
         self.write_mmap_sidecar(mmap_sidecar_path(path), path)
 
     @classmethod
@@ -223,6 +228,10 @@ class Trace:
             os.replace(tmp, dirpath)
         except OSError:
             shutil.rmtree(tmp, ignore_errors=True)
+            return
+        from repro.common.faults import fire
+
+        fire("sidecar", str(dirpath / "meta.json"))
 
     @classmethod
     def load_mmap(cls, dirpath: Path, npz_path: Path) -> "Trace":
@@ -233,7 +242,17 @@ class Trace:
         matches what the sidecar was derived from) — callers discard the
         sidecar and fall back to the npz.
         """
-        meta = json.loads((dirpath / "meta.json").read_text())
+        meta_path = dirpath / "meta.json"
+        if not meta_path.exists() or meta_path.stat().st_size == 0:
+            raise ValueError(f"trace sidecar {dirpath} has empty or missing meta.json")
+        missing = [
+            field
+            for field in TRACE_ARRAY_FIELDS
+            if not (dirpath / f"{field}.npy").exists()
+        ]
+        if missing:
+            raise ValueError(f"trace sidecar {dirpath} is missing arrays: {missing}")
+        meta = json.loads(meta_path.read_text())
         if int(meta["format"]) != TRACE_FORMAT:
             raise ValueError(f"trace sidecar format {meta['format']} != {TRACE_FORMAT}")
         if npz_path.stat().st_size != int(meta["npz_size"]):

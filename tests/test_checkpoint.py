@@ -1,0 +1,342 @@
+"""Windowed (checkpoint/resume) simulation is bit-identical to single-pass.
+
+Three layers are pinned here:
+
+* the **engine** — ``simulate(resume=..., checkpoint_every=...,
+  on_checkpoint=...)`` chunks stitched across simulated process
+  boundaries (states pickled between chunks, scheme/stack/prefetcher
+  rebuilt fresh each chunk) equal one undisturbed pass, on both the
+  live and the planned paths, across scheme families (plain policies,
+  RNG-carrying bypass schemes, oracle-backed OPT, ACIC);
+* the **store** — ``CheckpointStore`` round-trips engine states and
+  discards corrupt, truncated, stale-fingerprint and wrong-format
+  files rather than trusting them;
+* the **harness** — ``run_experiment`` under ``REPRO_CHECKPOINT_EVERY``
+  resumes a half-finished run from its checkpoint file and still
+  reports scalars identical to an unwindowed run, then deletes the
+  file.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.frontend.fdp import FetchDirectedPrefetcher
+from repro.frontend.plan import cached_plan
+from repro.frontend.stack import BranchStack
+from repro.harness.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointStore,
+    checkpoint_every,
+    run_fingerprint,
+    store_for,
+)
+from repro.harness.experiment import run_experiment
+from repro.harness.schemes import SchemeContext, make_scheme
+from repro.uarch.params import DEFAULT_MACHINE
+from repro.uarch.timing import simulate
+from repro.workloads.profiles import get_workload
+
+RECORDS = 6_000
+WORKLOAD = "media-streaming"
+
+SCALARS = (
+    "instructions",
+    "accesses",
+    "cycles",
+    "demand_misses",
+    "late_prefetch_misses",
+    "prefetches_issued",
+    "mispredicted_transitions",
+)
+
+#: Scheme families with distinct state shapes: plain policy, SHiP
+#: signatures, victim buffers, duelling/RNG bypass, oracle OPT, ACIC.
+CHUNK_SCHEMES = ("lru", "ship", "vvc", "dsb", "obm", "random-bypass", "opt", "acic")
+
+
+def _scalars(run):
+    return {k: getattr(run, k) for k in SCALARS}
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_workload(WORKLOAD).trace(records=RECORDS)
+
+
+@pytest.fixture(scope="module")
+def context(trace):
+    return SchemeContext(trace=trace, machine=DEFAULT_MACHINE)
+
+
+def _run_chunked(trace, make_kwargs, make_scheme_obj, every):
+    """Stitch a run out of one-checkpoint chunks.
+
+    Each chunk stops at its first capture (``on_checkpoint`` returning
+    True), the state crosses a pickle boundary, and the next chunk gets
+    a *fresh* scheme/stack/prefetcher — exactly what a killed and
+    restarted process would do.
+    """
+    state = None
+    chunks = 0
+    while True:
+        captured = []
+
+        def stop(s):
+            captured.append(s)
+            return True
+
+        run = simulate(
+            trace,
+            make_scheme_obj(),
+            machine=DEFAULT_MACHINE,
+            resume=state,
+            checkpoint_every=every,
+            on_checkpoint=stop,
+            **make_kwargs(),
+        )
+        if run is not None:
+            assert chunks > 1, "checkpoint cadence never fired"
+            return run
+        chunks += 1
+        state = pickle.loads(pickle.dumps(captured[-1]))
+
+
+class TestEngineChunking:
+    @pytest.mark.parametrize("name", CHUNK_SCHEMES)
+    def test_planned_chunked_equals_single_pass(self, name, trace, context):
+        plan = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        single = simulate(
+            trace, make_scheme(name, context), machine=DEFAULT_MACHINE, plan=plan
+        )
+        chunked = _run_chunked(
+            trace,
+            lambda: dict(plan=plan),
+            lambda: make_scheme(name, context),
+            every=1_700,
+        )
+        assert _scalars(chunked) == _scalars(single)
+
+    @pytest.mark.parametrize("name", ("lru", "acic", "dsb"))
+    def test_live_chunked_equals_single_pass(self, name, trace, context):
+        def live_kwargs():
+            stack = BranchStack(trace)
+            return dict(
+                stack=stack,
+                prefetcher=FetchDirectedPrefetcher(
+                    trace, stack, depth=DEFAULT_MACHINE.ftq_depth_records
+                ),
+            )
+
+        single = simulate(
+            trace,
+            make_scheme(name, context),
+            machine=DEFAULT_MACHINE,
+            **live_kwargs(),
+        )
+        chunked = _run_chunked(
+            trace,
+            live_kwargs,
+            lambda: make_scheme(name, context),
+            every=1_300,
+        )
+        assert _scalars(chunked) == _scalars(single)
+
+    @pytest.mark.parametrize("every", (1, 1_999, RECORDS - 1))
+    def test_awkward_cadences(self, every, trace, context):
+        """Cadence edge cases: every record, non-divisor, last record.
+
+        ``every=1`` also forces a checkpoint to land exactly on the
+        warmup boundary, pinning the re-derivation of base counters.
+        """
+        plan = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        single = simulate(
+            trace, make_scheme("lru", context), machine=DEFAULT_MACHINE, plan=plan
+        )
+        # Stop only once, mid-run, then finish in a second chunk.
+        target = {"remaining": 2}
+
+        def stop_midway(s):
+            target["remaining"] -= 1
+            if target["remaining"] == 0:
+                target["state"] = s
+                return True
+            return False
+
+        run = simulate(
+            trace,
+            make_scheme("lru", context),
+            machine=DEFAULT_MACHINE,
+            plan=plan,
+            checkpoint_every=every,
+            on_checkpoint=stop_midway,
+        )
+        if run is None:
+            state = pickle.loads(pickle.dumps(target["state"]))
+            run = simulate(
+                trace,
+                make_scheme("lru", context),
+                machine=DEFAULT_MACHINE,
+                plan=plan,
+                resume=state,
+            )
+        assert _scalars(run) == _scalars(single)
+
+    def test_mode_mismatch_rejected(self, trace, context):
+        plan = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        captured = []
+        simulate(
+            trace,
+            make_scheme("lru", context),
+            machine=DEFAULT_MACHINE,
+            plan=plan,
+            checkpoint_every=2_000,
+            on_checkpoint=lambda s: captured.append(s) or True,
+        )
+        state = captured[-1]
+        assert state["mode"] == "planned"
+        stack = BranchStack(trace)
+        with pytest.raises(ValueError, match="live"):
+            simulate(
+                trace,
+                make_scheme("lru", context),
+                machine=DEFAULT_MACHINE,
+                stack=stack,
+                prefetcher=FetchDirectedPrefetcher(
+                    trace, stack, depth=DEFAULT_MACHINE.ftq_depth_records
+                ),
+                resume=state,
+            )
+
+
+class TestCheckpointEveryEnv:
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECKPOINT_EVERY", raising=False)
+        assert checkpoint_every() == 0
+
+    def test_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "2500")
+        assert checkpoint_every() == 2500
+
+    def test_negative_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "-1")
+        with pytest.raises(ValueError):
+            checkpoint_every()
+
+
+class TestCheckpointStore:
+    FP_ARGS = (WORKLOAD, "lru", "fdp", RECORDS, "mfp", "digest", "planned")
+
+    def _store(self, tmp_path):
+        fp = run_fingerprint(*self.FP_ARGS)
+        return CheckpointStore(tmp_path / "run.ckpt", fp)
+
+    def test_roundtrip_and_clear(self, tmp_path):
+        store = self._store(tmp_path)
+        assert store.load() is None  # no file yet
+        state = {"mode": "planned", "next_record": 42, "counters": {}}
+        assert store.write(state) is False  # hook says: keep running
+        assert store.load() == state
+        store.clear()
+        assert store.load() is None
+        store.clear()  # idempotent
+
+    def test_corrupt_file_discarded(self, tmp_path):
+        store = self._store(tmp_path)
+        store.write({"mode": "planned"})
+        store.path.write_bytes(b"\x80\x05 definitely not a checkpoint")
+        assert store.load() is None
+        assert not store.path.exists(), "corrupt checkpoint must be unlinked"
+
+    def test_truncated_file_discarded(self, tmp_path):
+        store = self._store(tmp_path)
+        store.write({"mode": "planned", "bulk": list(range(1000))})
+        raw = store.path.read_bytes()
+        store.path.write_bytes(raw[: len(raw) // 2])
+        assert store.load() is None
+        assert not store.path.exists()
+
+    def test_foreign_fingerprint_discarded(self, tmp_path):
+        store = self._store(tmp_path)
+        store.write({"mode": "planned"})
+        other = CheckpointStore(
+            store.path, run_fingerprint(WORKLOAD, "srrip", *self.FP_ARGS[2:])
+        )
+        assert other.load() is None
+        assert not store.path.exists()
+
+    def test_format_bump_discards(self, tmp_path):
+        store = self._store(tmp_path)
+        payload = {
+            "format": CHECKPOINT_FORMAT + 1,
+            "fingerprint": store.fingerprint,
+            "state": {"mode": "planned"},
+        }
+        store.path.write_bytes(pickle.dumps(payload))
+        assert store.load() is None
+
+    def test_fingerprint_sensitivity(self):
+        base = run_fingerprint(*self.FP_ARGS)
+        for i in range(len(self.FP_ARGS)):
+            changed = list(self.FP_ARGS)
+            changed[i] = "other" if isinstance(changed[i], str) else 999
+            assert run_fingerprint(*changed) != base, f"ingredient {i} ignored"
+
+    def test_write_leaves_no_tmp(self, tmp_path):
+        store = self._store(tmp_path)
+        store.write({"mode": "planned"})
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestRunExperimentWindowed:
+    @pytest.fixture()
+    def result_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        return tmp_path
+
+    def test_windowed_run_matches_and_cleans_up(self, result_cache, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECKPOINT_EVERY", raising=False)
+        plain = run_experiment(WORKLOAD, "lru", records=RECORDS)
+        monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "2000")
+        windowed = run_experiment(WORKLOAD, "lru", records=RECORDS)
+        assert _scalars(windowed.run) == _scalars(plain.run)
+        assert not list((result_cache / "checkpoints").glob("*.ckpt")), (
+            "completed run must delete its checkpoint"
+        )
+
+    def test_resume_from_planted_checkpoint(self, result_cache, monkeypatch):
+        """A half-finished run's checkpoint is picked up and finished."""
+        monkeypatch.delenv("REPRO_CHECKPOINT_EVERY", raising=False)
+        plain = run_experiment(WORKLOAD, "lru", records=RECORDS)
+
+        # Produce the mid-run state exactly as a killed windowed run
+        # would have left it: same trace, machine and mode ingredients.
+        trace = get_workload(WORKLOAD).trace(records=RECORDS)
+        context = SchemeContext(trace=trace, machine=DEFAULT_MACHINE)
+        plan = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        store = store_for(
+            WORKLOAD,
+            "lru",
+            "fdp",
+            RECORDS,
+            DEFAULT_MACHINE.fingerprint(),
+            trace.digest,
+            "planned",
+        )
+        halted = simulate(
+            trace,
+            make_scheme("lru", context),
+            machine=DEFAULT_MACHINE,
+            plan=plan,
+            checkpoint_every=2_000,
+            on_checkpoint=lambda s: store.write(s) or True,
+        )
+        assert halted is None
+        assert store.path.exists()
+
+        monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "2000")
+        resumed = run_experiment(WORKLOAD, "lru", records=RECORDS)
+        assert _scalars(resumed.run) == _scalars(plain.run)
+        assert not store.path.exists()

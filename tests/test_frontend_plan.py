@@ -507,6 +507,36 @@ class TestPlanMmapSidecar:
             cached_plan(trace, DEFAULT_MACHINE, "fdp").mispredict, np.memmap
         )
 
+    def test_zero_byte_meta_is_discarded_and_rebuilt(self, mmap_plan_cache):
+        """A crash between create and write leaves meta.json empty."""
+        trace = random_trace(6, n=800)
+        fresh = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        sidecar = mmap_sidecar_path(self._entry(mmap_plan_cache))
+        (sidecar / "meta.json").write_bytes(b"")
+
+        clear_plan_memo()
+        loaded = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        for name in PLAN_ARRAYS:
+            assert np.array_equal(getattr(loaded, name), getattr(fresh, name))
+        # Repaired: the sidecar serves mmaps again with real metadata.
+        assert (sidecar / "meta.json").stat().st_size > 0
+        clear_plan_memo()
+        assert isinstance(
+            cached_plan(trace, DEFAULT_MACHINE, "fdp").mispredict, np.memmap
+        )
+
+    def test_missing_array_file_is_discarded_and_rebuilt(self, mmap_plan_cache):
+        trace = random_trace(7, n=800)
+        fresh = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        sidecar = mmap_sidecar_path(self._entry(mmap_plan_cache))
+        (sidecar / "mispredict.npy").unlink()
+
+        clear_plan_memo()
+        loaded = cached_plan(trace, DEFAULT_MACHINE, "fdp")
+        for name in PLAN_ARRAYS:
+            assert np.array_equal(getattr(loaded, name), getattr(fresh, name))
+        assert (sidecar / "mispredict.npy").exists(), "sidecar was repaired"
+
     def test_env_opt_out_loads_plain_arrays(self, mmap_plan_cache, monkeypatch):
         trace = random_trace(6, n=800)
         cached_plan(trace, DEFAULT_MACHINE, "fdp")

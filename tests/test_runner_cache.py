@@ -51,11 +51,15 @@ class TestDiskCacheRoundTrip:
         entry.write_text("{not json")
 
         reader = Runner(records=RECORDS, use_disk_cache=True)
+        assert reader.disk_cache_rejects == 0
         rebuilt = reader.run(WORKLOAD, "lru")
         assert _scalars(rebuilt) == _scalars(fresh)
-        # The corrupt file was replaced by a valid, loadable entry.
+        # The reject was counted and the corrupt file replaced by a
+        # valid, loadable entry.
+        assert reader.disk_cache_rejects == 1
         (entry,) = cache_dir.glob("*.json")
         assert json.loads(entry.read_text())["workload"] == WORKLOAD
+        assert writer.disk_cache_rejects == 0, "writer never saw corruption"
 
     def test_missing_fields_treated_as_corrupt(self, cache_dir):
         writer = Runner(records=RECORDS, use_disk_cache=True)
@@ -67,6 +71,19 @@ class TestDiskCacheRoundTrip:
 
         reader = Runner(records=RECORDS, use_disk_cache=True)
         assert _scalars(reader.run(WORKLOAD, "lru")) == _scalars(fresh)
+        assert reader.disk_cache_rejects == 1
+
+    def test_zero_byte_entry_treated_as_corrupt(self, cache_dir):
+        writer = Runner(records=RECORDS, use_disk_cache=True)
+        fresh = writer.run(WORKLOAD, "lru")
+        (entry,) = cache_dir.glob("*.json")
+        entry.write_bytes(b"")
+
+        reader = Runner(records=RECORDS, use_disk_cache=True)
+        assert _scalars(reader.run(WORKLOAD, "lru")) == _scalars(fresh)
+        assert reader.disk_cache_rejects == 1
+        (entry,) = cache_dir.glob("*.json")
+        assert entry.stat().st_size > 0, "entry was rebuilt whole"
 
     def test_no_disk_cache_env_bypasses(self, cache_dir, monkeypatch):
         monkeypatch.setenv("REPRO_NO_DISK_CACHE", "1")

@@ -112,6 +112,28 @@ class TestTraceMmapSidecar:
         assert np.array_equal(loaded.blocks, different.blocks)
         assert not np.array_equal(loaded.blocks, fresh.blocks)
 
+    def test_zero_byte_meta_is_discarded_and_rebuilt(self, trace_cache):
+        """A crash between create and write leaves meta.json empty."""
+        fresh = _build()
+        sidecar = mmap_sidecar_path(_entry(trace_cache))
+        (sidecar / "meta.json").write_bytes(b"")
+
+        loaded = _build()
+        assert np.array_equal(loaded.blocks, fresh.blocks)
+        # Repaired: real metadata back, mmap loads serve again.
+        assert (sidecar / "meta.json").stat().st_size > 0
+        assert isinstance(_build().blocks, np.memmap)
+
+    def test_missing_array_file_is_discarded_and_rebuilt(self, trace_cache):
+        fresh = _build()
+        sidecar = mmap_sidecar_path(_entry(trace_cache))
+        (sidecar / "blocks.npy").unlink()
+
+        loaded = _build()
+        assert np.array_equal(loaded.blocks, fresh.blocks)
+        assert (sidecar / "blocks.npy").exists(), "sidecar was repaired"
+        assert isinstance(_build().blocks, np.memmap)
+
     def test_missing_sidecar_is_repaired_from_npz(self, trace_cache):
         fresh = _build()
         sidecar = mmap_sidecar_path(_entry(trace_cache))
