@@ -33,6 +33,7 @@ from repro.harness.throughput import (  # noqa: E402  (path bootstrap above)
     compare_reports,
     load_report,
     measure_grid,
+    profile_scheme,
     report_path,
     verify_report,
     write_report,
@@ -67,10 +68,26 @@ def main(argv: list[str] | None = None) -> int:
         help="re-simulate the snapshot's grid and fail on scalar drift "
         "without rewriting it (ignores the grid flags above)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile one simulation per scheme (top-20 by total time) "
+        "instead of timing; implies --no-write",
+    )
     args = parser.parse_args(argv)
 
     schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
     out_path = args.output or report_path()
+
+    if args.profile:
+        from repro.workloads.profiles import get_workload
+
+        trace = get_workload(args.workload).trace(records=args.records)
+        for spec in schemes:
+            print(f"=== {spec} (workload={args.workload}, "
+                  f"records={args.records}, prefetcher={args.prefetcher}) ===")
+            print(profile_scheme(trace, spec, prefetcher=args.prefetcher))
+        return 0
 
     if args.check:
         problems = verify_report(out_path, repeats=1)

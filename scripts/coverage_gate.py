@@ -48,6 +48,7 @@ DEFAULT_PYTEST_ARGS = [
     "tests/test_mem_components.py",
     "tests/test_cache_properties.py",
     "tests/test_policies.py",
+    "tests/test_policy_differential.py",
     "tests/test_oracle.py",
     "tests/test_mshr_differential.py",
     "tests/test_acic_core.py",
@@ -69,6 +70,7 @@ DEFAULT_PYTEST_ARGS = [
 #: Directories the floor applies to when no --target is given.
 DEFAULT_TARGETS = [
     "src/repro/mem",
+    "src/repro/mem/policies",
     "src/repro/core",
     "src/repro/frontend",
     "src/repro/harness",

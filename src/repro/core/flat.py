@@ -95,7 +95,7 @@ class FlatACICScheme:
         runs after construction and after every reset.
         """
         self._ic_stats = self.icache.stats
-        self._ic_lines = [s._lines for s in self.icache._sets]
+        self._ic_lines = self.icache.line_dicts()
         self._ic_set_mask = self.icache._set_mask
         if self.ifilter is not None:
             self._if_lines = self.ifilter._buffer._lines

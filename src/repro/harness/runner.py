@@ -57,7 +57,12 @@ from repro.frontend.entangling_plan import (
 )
 from repro.frontend.plan import cached_plan, plannable
 from repro.harness.experiment import _plans_enabled, run_experiment, scaled_records
-from repro.harness.schemes import SchemeContext, make_scheme
+from repro.harness.schemes import SchemeContext, flat_policies_enabled, make_scheme
+from repro.mem.prepass import (
+    PREPASS_SCHEMES,
+    cached_replacement_prepass,
+    prepass_enabled,
+)
 from repro.uarch.params import DEFAULT_MACHINE, MachineParams
 from repro.uarch.timing import RunResult
 from repro.workloads.profiles import get_workload
@@ -518,9 +523,19 @@ class Runner:
             # Build (and disk-cache) each pending workload's trace and
             # frontend plan in the parent first: workers then mmap the
             # sidecars instead of racing to redo the same trace
-            # generation and branch-stack/FDP replay N times.
+            # generation and branch-stack/FDP replay N times.  Same for
+            # the replacement pre-pass of workloads with pending
+            # pre-pass-consuming pairs (ghrp/harmony flat twins).
+            if flat_policies_enabled() and prepass_enabled():
+                prepass_workloads = {
+                    w for w, s in pending if s in PREPASS_SCHEMES
+                }
+            else:
+                prepass_workloads = set()
             for workload in sorted({w for w, _ in pending}):
-                self.context_for(workload)
+                ctx = self.context_for(workload)
+                if workload in prepass_workloads:
+                    cached_replacement_prepass(ctx.trace)
             self._sweep_parallel(pending, jobs, journal)
         else:
             for workload, scheme in pending:

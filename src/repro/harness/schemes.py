@@ -34,6 +34,8 @@ from repro.mem.cache import CacheConfig
 from repro.mem.oracle import NextUseOracle
 from repro.mem.policies import (
     BeladyOPTPolicy,
+    FlatGHRPScheme,
+    FlatHawkeyeScheme,
     GHRPPolicy,
     HawkeyePolicy,
     LRUPolicy,
@@ -132,8 +134,21 @@ def _ship(ctx: SchemeContext):
     return PlainCacheScheme(ctx.l1i_config, SHiPPolicy())
 
 
+def flat_policies_enabled() -> bool:
+    """The registry builds the fused replacement twins unless opted out.
+
+    ``REPRO_FLAT_POLICIES=0`` swaps in the readable
+    ``PlainCacheScheme``-wrapped policies — scalars are bit-identical
+    either way (pinned by ``tests/test_policy_differential.py``); the
+    env hook exists for debugging and for the differential tests.
+    """
+    return os.environ.get("REPRO_FLAT_POLICIES", "") != "0"
+
+
 @register("harmony", "Hawkeye/Harmony OPT-learning replacement")
 def _harmony(ctx: SchemeContext):
+    if flat_policies_enabled():
+        return FlatHawkeyeScheme(ctx.l1i_config)
     return PlainCacheScheme(
         ctx.l1i_config, HawkeyePolicy(ways=ctx.l1i_config.ways)
     )
@@ -141,6 +156,8 @@ def _harmony(ctx: SchemeContext):
 
 @register("ghrp", "GHRP dead-block-predicting replacement")
 def _ghrp(ctx: SchemeContext):
+    if flat_policies_enabled():
+        return FlatGHRPScheme(ctx.l1i_config)
     return PlainCacheScheme(ctx.l1i_config, GHRPPolicy())
 
 

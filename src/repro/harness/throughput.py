@@ -158,6 +158,47 @@ def measure_scheme(
     )
 
 
+def profile_scheme(
+    trace: Trace,
+    scheme_spec: str,
+    prefetcher: str = "fdp",
+    machine: Optional[MachineParams] = None,
+    plan: Optional[object] = None,
+    top: int = 20,
+) -> str:
+    """cProfile one simulation of ``scheme_spec``; returns the top-N table.
+
+    Mirrors :func:`measure_scheme`'s setup (plan built outside the
+    profiled region, fresh scheme) so the profile shows exactly what the
+    timed region of the benchmark spends, sorted by total time.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    machine = machine or DEFAULT_MACHINE
+    scheme_name, prefetcher = parse_scheme_spec(scheme_spec, prefetcher)
+    ctx = SchemeContext(trace=trace, machine=machine)
+    if plan is None and plannable(prefetcher):
+        plan = build_plan(trace, machine, prefetcher)
+    if plan is None and prefetcher == "entangling":
+        plan, _ = build_entangling_plan(
+            trace, machine, make_scheme(scheme_name, ctx), scheme_name
+        )
+    scheme = make_scheme(scheme_name, ctx)
+    profiler = cProfile.Profile()
+    if plan is not None:
+        profiler.runcall(simulate, trace, scheme, machine=machine, plan=plan)
+    else:
+        stack = BranchStack(trace)
+        pf = build_prefetcher(prefetcher, trace, stack, machine)
+        profiler.runcall(simulate, trace, scheme, pf, stack, machine)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("tottime").print_stats(top)
+    return buffer.getvalue()
+
+
 def measure_grid(
     workload: str = DEFAULT_WORKLOAD,
     schemes: Iterable[str] = DEFAULT_SCHEMES,

@@ -121,6 +121,16 @@ class SetAssociativeCache:
         """Resident blocks of a set in LRU -> MRU order (for tests/policies)."""
         return list(self._sets[set_index])
 
+    def line_dicts(self) -> list:
+        """Per-set backing dicts (LRU -> MRU iteration order), by set index.
+
+        Fast-path API for the flat scheme twins: they index these dicts
+        directly in their fused lookup/fill bodies.  The dicts are the
+        live containers — mutated in place by ``reset``/``load_state``
+        — so a captured list stays valid across both.
+        """
+        return [s._lines for s in self._sets]
+
     # -- access path -------------------------------------------------------
 
     def lookup(self, block: int, t: int = 0) -> bool:

@@ -11,10 +11,19 @@ Everything the paper compares against lives here:
 * :class:`GHRPPolicy` — global-history dead-block prediction (the
   state-of-the-art i-cache policy ACIC is measured against).
 * :class:`BeladyOPTPolicy` — the oracle upper bound.
+
+The two slowest policies also have fused hot-path twins following the
+``FlatACICScheme`` pattern — :class:`FlatGHRPScheme` and
+:class:`FlatHawkeyeScheme` implement the L1I scheme protocol directly
+(the registry builds them unless ``REPRO_FLAT_POLICIES=0``), pinned
+bit-identical to the readable policies above by
+``tests/test_policy_differential.py``.
 """
 
 from repro.mem.policies.base import ReplacementPolicy
 from repro.mem.policies.belady import BeladyOPTPolicy
+from repro.mem.policies.flat_ghrp import FlatGHRPScheme
+from repro.mem.policies.flat_hawkeye import FlatHawkeyeScheme
 from repro.mem.policies.ghrp import GHRPPolicy
 from repro.mem.policies.hawkeye import HawkeyePolicy
 from repro.mem.policies.lru import LRUPolicy
@@ -26,6 +35,8 @@ from repro.mem.policies.srrip import SRRIPPolicy
 __all__ = [
     "ReplacementPolicy",
     "BeladyOPTPolicy",
+    "FlatGHRPScheme",
+    "FlatHawkeyeScheme",
     "GHRPPolicy",
     "HawkeyePolicy",
     "LRUPolicy",

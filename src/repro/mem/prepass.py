@@ -1,0 +1,293 @@
+"""Shared replacement pre-pass: per-record signatures and set indices.
+
+The flat replacement-policy twins (:mod:`repro.mem.policies.flat_ghrp`,
+:mod:`repro.mem.policies.flat_hawkeye`) spend part of every demand
+access hashing the block address — GHRP's 16-bit region signature and
+Hawkeye's 13-bit predictor signature are both ``fold_hash`` of a pure
+function of the block, and the set index is a mask of it.  All of that
+is a pure function of the *trace*, so one vectorized numpy pass
+precomputes it per workload and every (scheme, record) pair simply
+indexes by ``t`` instead of hashing per access.
+
+The result is cached like frontend plans: fingerprinted ``.pre.npz``
+plus an mmap ``.pre.mmap/`` sidecar in the plan cache directory
+(reusing :func:`repro.frontend.plan.write_sidecar_dir` /
+:func:`~repro.frontend.plan.read_sidecar_dir`), so sweep workers map
+the parent-built arrays instead of recomputing them N times.  Corrupt
+or stale entries are discarded and rebuilt, mirroring the plan cache.
+
+The arrays are only valid for the *demand* stream (record ``t``
+accesses ``trace.blocks[t]``); prefetch fills carry arbitrary blocks
+and keep the policies' memo-hash fallback.  ``REPRO_REPLACEMENT_PREPASS=0``
+disables the pre-pass entirely (the twins hash per access, scalars
+identical); ``REPRO_NO_DISK_CACHE=1`` and ``REPRO_PLAN_MMAP=0`` apply
+exactly as they do to plans.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from collections import OrderedDict
+from dataclasses import dataclass
+from functools import cached_property
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.common.bitops import _GOLDEN64, L1I_SET_BITS, mask
+from repro.workloads.trace import Trace
+
+#: Bump when the array layout or semantics change (invalidates caches).
+PREPASS_FORMAT = 1
+
+#: Array fields persisted per record.
+PREPASS_ARRAY_FIELDS = ("set_index", "ghrp_sig", "hawkeye_sig")
+
+#: Registered schemes that consume the pre-pass (parent prewarm hook).
+PREPASS_SCHEMES = ("ghrp", "harmony")
+
+#: Default geometry — must match the policies the registry builds.
+DEFAULT_SET_BITS = L1I_SET_BITS
+DEFAULT_GHRP_REGION_SHIFT = 4
+DEFAULT_GHRP_SIG_BITS = 16
+DEFAULT_HAWKEYE_SIG_BITS = 13
+
+
+def prepass_enabled() -> bool:
+    """Pre-pass consumption is on unless ``REPRO_REPLACEMENT_PREPASS=0``."""
+    return os.environ.get("REPRO_REPLACEMENT_PREPASS", "") != "0"
+
+
+def _fold_hash_array(values: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorized :func:`repro.common.bitops.fold_hash` over an array."""
+    with np.errstate(over="ignore"):  # uint64 wrap-around is the point
+        mixed = values.astype(np.uint64) * np.uint64(_GOLDEN64)
+    return (mixed >> np.uint64(64 - bits)).astype(np.int64)
+
+
+@dataclass
+class ReplacementPrepass:
+    """Per-record precomputed replacement-policy inputs for one trace."""
+
+    trace_name: str
+    trace_digest: str
+    fingerprint: str
+    set_bits: int
+    ghrp_region_shift: int
+    ghrp_sig_bits: int
+    hawkeye_sig_bits: int
+    set_index: np.ndarray   # int64, n — block & mask(set_bits)
+    ghrp_sig: np.ndarray    # int64, n — fold_hash(block >> region_shift)
+    hawkeye_sig: np.ndarray  # int64, n — fold_hash(block)
+
+    def __len__(self) -> int:
+        return len(self.set_index)
+
+    # -- hot-loop list views (one bulk conversion, as Trace/plans do) -------
+
+    @cached_property
+    def set_index_list(self) -> List[int]:
+        return self.set_index.tolist()
+
+    @cached_property
+    def ghrp_sig_list(self) -> List[int]:
+        return self.ghrp_sig.tolist()
+
+    @cached_property
+    def hawkeye_sig_list(self) -> List[int]:
+        return self.hawkeye_sig.tolist()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _meta(self) -> dict:
+        return {
+            "format": PREPASS_FORMAT,
+            "fingerprint": self.fingerprint,
+            "trace_name": self.trace_name,
+            "trace_digest": self.trace_digest,
+            "set_bits": self.set_bits,
+            "ghrp_region_shift": self.ghrp_region_shift,
+            "ghrp_sig_bits": self.ghrp_sig_bits,
+            "hawkeye_sig_bits": self.hawkeye_sig_bits,
+            "records": len(self),
+        }
+
+    def save(self, path: Path) -> None:
+        """Write the ``.npz`` (write-then-rename) and its mmap sidecar."""
+        from repro.frontend.plan import mmap_sidecar_path
+
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")
+        np.savez_compressed(
+            tmp,
+            meta=np.bytes_(json.dumps(self._meta(), sort_keys=True).encode()),
+            set_index=self.set_index,
+            ghrp_sig=self.ghrp_sig,
+            hawkeye_sig=self.hawkeye_sig,
+        )
+        os.replace(tmp, path)
+        self.write_mmap_sidecar(mmap_sidecar_path(path))
+
+    def write_mmap_sidecar(self, dirpath: Path) -> None:
+        from repro.frontend.plan import write_sidecar_dir
+
+        write_sidecar_dir(
+            dirpath,
+            {name: getattr(self, name) for name in PREPASS_ARRAY_FIELDS},
+            self._meta(),
+        )
+
+    @classmethod
+    def _from_meta(cls, meta: dict, arrays: dict) -> "ReplacementPrepass":
+        if int(meta["format"]) != PREPASS_FORMAT:
+            raise ValueError(
+                f"prepass format {meta['format']} != {PREPASS_FORMAT}"
+            )
+        n = int(meta["records"])
+        if any(len(arrays[name]) != n for name in PREPASS_ARRAY_FIELDS):
+            raise ValueError("inconsistent prepass array lengths")
+        return cls(
+            trace_name=str(meta["trace_name"]),
+            trace_digest=str(meta["trace_digest"]),
+            fingerprint=str(meta["fingerprint"]),
+            set_bits=int(meta["set_bits"]),
+            ghrp_region_shift=int(meta["ghrp_region_shift"]),
+            ghrp_sig_bits=int(meta["ghrp_sig_bits"]),
+            hawkeye_sig_bits=int(meta["hawkeye_sig_bits"]),
+            **arrays,
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "ReplacementPrepass":
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+            arrays = {
+                name: np.asarray(data[name]) for name in PREPASS_ARRAY_FIELDS
+            }
+        return cls._from_meta(meta, arrays)
+
+    @classmethod
+    def load_mmap(cls, dirpath: Path) -> "ReplacementPrepass":
+        from repro.frontend.plan import read_sidecar_dir
+
+        meta, arrays = read_sidecar_dir(dirpath, PREPASS_ARRAY_FIELDS)
+        return cls._from_meta(meta, arrays)
+
+
+def prepass_fingerprint(
+    trace: Trace,
+    set_bits: int = DEFAULT_SET_BITS,
+    ghrp_region_shift: int = DEFAULT_GHRP_REGION_SHIFT,
+    ghrp_sig_bits: int = DEFAULT_GHRP_SIG_BITS,
+    hawkeye_sig_bits: int = DEFAULT_HAWKEYE_SIG_BITS,
+) -> str:
+    """Hash of everything the pre-pass content depends on, nothing else."""
+    blob = json.dumps(
+        {
+            "format": PREPASS_FORMAT,
+            "trace": trace.digest,
+            "set_bits": set_bits,
+            "ghrp_region_shift": ghrp_region_shift,
+            "ghrp_sig_bits": ghrp_sig_bits,
+            "hawkeye_sig_bits": hawkeye_sig_bits,
+        },
+        sort_keys=True,
+    )
+    return "pre" + hashlib.sha1(blob.encode()).hexdigest()[:12]
+
+
+def build_replacement_prepass(
+    trace: Trace,
+    set_bits: int = DEFAULT_SET_BITS,
+    ghrp_region_shift: int = DEFAULT_GHRP_REGION_SHIFT,
+    ghrp_sig_bits: int = DEFAULT_GHRP_SIG_BITS,
+    hawkeye_sig_bits: int = DEFAULT_HAWKEYE_SIG_BITS,
+) -> ReplacementPrepass:
+    """One vectorized pass over the trace's block stream."""
+    blocks = np.asarray(trace.blocks, dtype=np.int64)
+    return ReplacementPrepass(
+        trace_name=trace.name,
+        trace_digest=trace.digest,
+        fingerprint=prepass_fingerprint(
+            trace, set_bits, ghrp_region_shift, ghrp_sig_bits,
+            hawkeye_sig_bits,
+        ),
+        set_bits=set_bits,
+        ghrp_region_shift=ghrp_region_shift,
+        ghrp_sig_bits=ghrp_sig_bits,
+        hawkeye_sig_bits=hawkeye_sig_bits,
+        set_index=blocks & np.int64(mask(set_bits)),
+        ghrp_sig=_fold_hash_array(blocks >> ghrp_region_shift, ghrp_sig_bits),
+        hawkeye_sig=_fold_hash_array(blocks, hawkeye_sig_bits),
+    )
+
+
+def _prepass_path(trace: Trace, fingerprint: str) -> Path:
+    from repro.frontend.plan import _plan_path
+
+    # Reuse the plan cache's directory and naming (``REPRO_PLAN_CACHE``
+    # redirection applies); the fingerprint prefix keeps the suffix
+    # distinct: <trace>.pre<hash>.npz + <trace>.pre<hash>.mmap/.
+    return _plan_path(trace, fingerprint)
+
+
+#: Small in-process memo (a sweep touches a handful of workloads).
+_MEMO_CAP = 8
+_memo: "OrderedDict[str, ReplacementPrepass]" = OrderedDict()
+
+
+def clear_prepass_memo() -> None:
+    """Drop the in-process pre-pass memo (tests)."""
+    _memo.clear()
+
+
+def cached_replacement_prepass(
+    trace: Trace, use_disk: Optional[bool] = None
+) -> ReplacementPrepass:
+    """Memoised + disk-cached pre-pass for ``trace`` (default geometry).
+
+    Lookup order mirrors :func:`repro.frontend.plan.cached_plan`: memo,
+    mmap sidecar, ``.npz``, fresh build.  Corrupt or stale entries are
+    discarded and rebuilt.
+    """
+    from repro.frontend.plan import _mmap_enabled, mmap_sidecar_path
+
+    fingerprint = prepass_fingerprint(trace)
+    pre = _memo.get(fingerprint)
+    if pre is not None:
+        _memo.move_to_end(fingerprint)
+        return pre
+    if use_disk is None:
+        use_disk = os.environ.get("REPRO_NO_DISK_CACHE", "") != "1"
+    path = _prepass_path(trace, fingerprint)
+    sidecar = mmap_sidecar_path(path)
+    if use_disk and _mmap_enabled() and sidecar.exists():
+        try:
+            pre = ReplacementPrepass.load_mmap(sidecar)
+            if pre.fingerprint != fingerprint or len(pre) != len(trace):
+                raise ValueError("stale prepass mmap sidecar")
+        except Exception:
+            shutil.rmtree(sidecar, ignore_errors=True)  # corrupt/stale
+            pre = None
+    if pre is None and use_disk and path.exists():
+        try:
+            pre = ReplacementPrepass.load(path)
+            if pre.fingerprint != fingerprint or len(pre) != len(trace):
+                raise ValueError("stale prepass cache entry")
+        except Exception:
+            path.unlink(missing_ok=True)  # corrupt/stale: rebuild
+            pre = None
+        if pre is not None and _mmap_enabled() and not sidecar.exists():
+            pre.write_mmap_sidecar(sidecar)  # repair for future workers
+    if pre is None:
+        pre = build_replacement_prepass(trace)
+        if use_disk:
+            pre.save(path)
+    _memo[fingerprint] = pre
+    while len(_memo) > _MEMO_CAP:
+        _memo.popitem(last=False)
+    return pre

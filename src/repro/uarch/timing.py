@@ -210,10 +210,12 @@ def simulate(
     queue_cap = float(machine.decode_queue_instrs)
     penalty = machine.branch_mispredict_penalty
 
-    scheme_lookup = scheme.lookup
-    scheme_fill = scheme.fill
-    scheme_prefetch_fill = scheme.prefetch_fill
-    scheme_contains = scheme.contains
+    # Schemes that consume the shared replacement pre-pass bind their
+    # per-record arrays here (pure, idempotent — safe per resumed chunk).
+    prepare_trace = getattr(scheme, "prepare_trace", None)
+    if prepare_trace is not None:
+        prepare_trace(trace)
+
     stack_retire = stack.retire
     pf_candidates = prefetcher.candidates
     pf_observe_fetch = prefetcher.observe_fetch
@@ -258,6 +260,14 @@ def simulate(
         stack.load_state(resume["stack"])
         prefetcher.load_state(resume["prefetcher"])
     next_ready = mshr.next_ready
+
+    # Hoisted after the resume load on purpose: the flat policy twins
+    # re-close their protocol methods over freshly loaded containers, so
+    # binding these any earlier would drive stale closures.
+    scheme_lookup = scheme.lookup
+    scheme_fill = scheme.fill
+    scheme_prefetch_fill = scheme.prefetch_fill
+    scheme_contains = scheme.contains
 
     if checkpoint_every > 0:
         # Next absolute multiple strictly past the starting record.
@@ -370,6 +380,12 @@ def simulate(
                 next_ready = ready
             prefetches_issued += 1
 
+    # Schemes that defer counter updates into their fused hot path flush
+    # them here (checkpoint captures flush inside save_state instead).
+    finish_trace = getattr(scheme, "finish_trace", None)
+    if finish_trace is not None:
+        finish_trace()
+
     return RunResult(
         workload=trace.name,
         scheme_name=scheme.name,
@@ -435,10 +451,11 @@ def _simulate_planned(
     queue_cap = float(machine.decode_queue_instrs)
     penalty = machine.branch_mispredict_penalty
 
-    scheme_lookup = scheme.lookup
-    scheme_fill = scheme.fill
-    scheme_prefetch_fill = scheme.prefetch_fill
-    scheme_contains = scheme.contains
+    # Shared replacement pre-pass binding, as in the live loop.
+    prepare_trace = getattr(scheme, "prepare_trace", None)
+    if prepare_trace is not None:
+        prepare_trace(trace)
+
     hierarchy_access = hierarchy.access
     mshr_drain = mshr.drain
     mshr_ready_cycle = mshr.ready_cycle
@@ -474,6 +491,12 @@ def _simulate_planned(
         mshr.load_state(resume["mshr"])
         hierarchy.load_state(resume["hierarchy"])
     next_ready = mshr.next_ready
+
+    # Hoisted after the resume load on purpose (see simulate()).
+    scheme_lookup = scheme.lookup
+    scheme_fill = scheme.fill
+    scheme_prefetch_fill = scheme.prefetch_fill
+    scheme_contains = scheme.contains
 
     if checkpoint_every > 0:
         next_ckpt = (start // checkpoint_every + 1) * checkpoint_every
@@ -572,6 +595,11 @@ def _simulate_planned(
                 if ready < next_ready:
                     next_ready = ready
                 prefetches_issued += 1
+
+    # Deferred-counter flush, as in the live loop.
+    finish_trace = getattr(scheme, "finish_trace", None)
+    if finish_trace is not None:
+        finish_trace()
 
     return RunResult(
         workload=trace.name,

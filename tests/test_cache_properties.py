@@ -19,6 +19,8 @@ set).
 
 from __future__ import annotations
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -219,6 +221,52 @@ class TestPolicyLockstep:
                 got = _fill_outcome(prod.fill(block, t))
                 assert got == ref.fill(block, t)
             _assert_lockstep(prod, ref)
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICY_FACTORIES))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_mid_run_state_roundtrip(self, policy_name, seed):
+        """save_state mid-run, load into a dirty cache, stay in lockstep.
+
+        Every policy (SHiP's signature tables and Tree-PLRU's bit
+        arrays included) must carry its state across the pickle
+        boundary: the loaded cache replays the rest of the trace
+        bit-identically to the one that never stopped.
+        """
+        rng = np.random.RandomState(77 + seed)
+        n = 1600
+        hot = rng.randint(0, CONFIG.num_blocks, size=n)
+        cold = rng.randint(0, CONFIG.num_blocks * 6, size=n)
+        seq = np.where(rng.rand(n) < 0.6, hot, cold).tolist()
+        oracle = NextUseOracle(np.asarray(seq, dtype=np.int64))
+        prod, _ = _make_pair(policy_name, oracle)
+        cut = n // 2
+        for t, block in enumerate(seq[:cut]):
+            if not prod.lookup(block, t):
+                prod.fill(block, t)
+
+        state = pickle.loads(pickle.dumps(prod.save_state()))
+
+        # The twin starts dirty: loading must fully replace its state.
+        twin = SetAssociativeCache(CONFIG, POLICY_FACTORIES[policy_name](oracle))
+        for t in range(120):
+            twin.fill(int(rng.randint(CONFIG.num_blocks * 6)), t)
+        twin.load_state(state)
+
+        for s in range(CONFIG.num_sets):
+            assert twin.set_contents(s) == prod.set_contents(s)
+        assert vars(twin.stats) == vars(prod.stats)
+
+        for t in range(cut, n):
+            block = seq[t]
+            hit = prod.lookup(block, t)
+            assert hit == twin.lookup(block, t)
+            if not hit:
+                assert _fill_outcome(prod.fill(block, t)) == _fill_outcome(
+                    twin.fill(block, t)
+                )
+            for s in range(CONFIG.num_sets):
+                assert twin.set_contents(s) == prod.set_contents(s)
+        assert vars(twin.stats) == vars(prod.stats)
 
     @pytest.mark.parametrize("policy_name", sorted(POLICY_FACTORIES))
     def test_reset_restores_empty_lockstep(self, policy_name):

@@ -54,7 +54,20 @@ SCALARS = (
 
 #: Scheme families with distinct state shapes: plain policy, SHiP
 #: signatures, victim buffers, duelling/RNG bypass, oracle OPT, ACIC.
-CHUNK_SCHEMES = ("lru", "ship", "vvc", "dsb", "obm", "random-bypass", "opt", "acic")
+CHUNK_SCHEMES = (
+    "lru",
+    "ship",
+    "vvc",
+    "dsb",
+    "obm",
+    "random-bypass",
+    "opt",
+    "acic",
+    # Flat replacement twins: resume must rebind their fused closures
+    # over the freshly loaded containers.
+    "ghrp",
+    "harmony",
+)
 
 
 def _scalars(run):
