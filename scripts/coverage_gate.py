@@ -11,8 +11,9 @@ Usage::
 Runs a subsystem-focused pytest selection under the stdlib ``trace``
 module (no ``coverage``/``pytest-cov`` dependency) and fails when the
 aggregate executed-line fraction of any target directory — by default
-``src/repro/mem``, ``src/repro/core``, ``src/repro/frontend`` and
-``src/repro/harness`` — drops below the floor.  CI runs this after the
+``src/repro/mem``, ``src/repro/core``, ``src/repro/frontend``,
+``src/repro/harness`` and ``src/repro/service`` — drops below the
+floor.  CI runs this after the
 tier-1 suite so a PR cannot silently orphan the MSHR/hierarchy/policy,
 i-Filter/CSHR/predictor/controller, branch-stack/FDP/entangling/plan,
 or runner/checkpoint/fault-recovery code paths the differential
@@ -30,6 +31,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import threading
 import trace as trace_mod
 import types
 from collections import defaultdict
@@ -63,6 +65,8 @@ DEFAULT_PYTEST_ARGS = [
     "tests/test_checkpoint.py",
     "tests/test_fault_injection.py",
     "tests/test_throughput_bench.py",
+    "tests/test_service.py",
+    "tests/test_sweep_bugs.py",
     "-k", "not 20k and not Simulate and not conservation"
     " and not all_workload_profiles",
 ]
@@ -74,6 +78,7 @@ DEFAULT_TARGETS = [
     "src/repro/core",
     "src/repro/frontend",
     "src/repro/harness",
+    "src/repro/service",
 ]
 
 
@@ -146,7 +151,14 @@ def main(argv: list[str] | None = None) -> int:
         count=1, trace=0, ignoredirs=[sys.prefix, sys.exec_prefix]
     )
     tracer.ignore = _PrefixIgnore([sys.prefix, sys.exec_prefix])
-    rc = tracer.runfunc(pytest.main, list(pytest_args))
+    # ``Trace.runfunc`` only installs sys.settrace on *this* thread; the
+    # sweep service runs its event loop and simulations on background
+    # threads, so arm the tracer for every thread started under the run.
+    threading.settrace(tracer.globaltrace)
+    try:
+        rc = tracer.runfunc(pytest.main, list(pytest_args))
+    finally:
+        threading.settrace(None)
     if rc != 0:
         print(f"coverage gate: pytest failed (exit {rc})", file=sys.stderr)
         return int(rc) or 1

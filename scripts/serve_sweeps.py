@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Run the sweep service in the foreground.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_sweeps.py                # port 8437
+    PYTHONPATH=src python scripts/serve_sweeps.py --port 0       # ephemeral
+    PYTHONPATH=src python scripts/serve_sweeps.py --jobs 4 --records 160000
+
+Then, from any HTTP client::
+
+    curl -s localhost:8437/healthz
+    curl -s localhost:8437/sweep -d '{"workloads": ["x264"], "schemes": ["lru", "acic"]}'
+    curl -sN localhost:8437/sweep -d '{"workloads": ["x264"], "schemes": ["lru", "acic"], "stream": true}'
+
+Warm pairs answer straight from the fingerprinted ``.cache/results``
+store; identical in-flight grids are deduped to one simulation; cold
+work queues through ``Runner.sweep`` with bounded concurrency (see
+``ARCHITECTURE.md``, "The service layer").  Stop with Ctrl-C.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.service.server import ServiceConfig, serve  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8437, help="0 = pick a free port"
+    )
+    parser.add_argument(
+        "--records",
+        type=int,
+        default=None,
+        help="default trace length for requests that omit 'records' "
+        "(default: the harness default, honouring REPRO_SCALE)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per cold sweep (Runner.sweep jobs=N)",
+    )
+    parser.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        help="simultaneous cold sweeps "
+        "(default: REPRO_SERVICE_CONCURRENCY, or 2)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=8,
+        help="cold sweeps in flight before new cold work is refused (503)",
+    )
+    args = parser.parse_args(argv)
+
+    config = ServiceConfig(
+        records=args.records,
+        jobs=args.jobs,
+        max_concurrent_sweeps=args.max_concurrent,
+        max_queue=args.max_queue,
+    )
+    try:
+        asyncio.run(serve(config, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("\nsweep service stopped")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,12 +42,14 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
+import uuid
 from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.common import faults
 from repro.frontend.entangling_plan import (
@@ -124,6 +126,31 @@ def _sweep_retries() -> int:
     if retries < 0:
         raise ValueError(f"REPRO_SWEEP_RETRIES must be >= 0, got {retries}")
     return retries
+
+
+def _context_cache_cap() -> int:
+    """Resident :class:`SchemeContext` bound per Runner (REPRO_CONTEXT_CACHE).
+
+    Every workload a Runner touches used to keep its trace/plan/oracle
+    resident forever — fine for a bench process that exits, a leak in a
+    long-lived server.  Default 4: enough that workload-major sweeps and
+    the figure benches (outer loop over workloads) never thrash, small
+    enough that a server that has seen every workload holds a handful of
+    traces, not all of them.
+    """
+    env = os.environ.get("REPRO_CONTEXT_CACHE", "").strip()
+    if not env:
+        return 4
+    cap = int(env)
+    if cap < 1:
+        raise ValueError(f"REPRO_CONTEXT_CACHE must be >= 1, got {cap}")
+    return cap
+
+
+#: Callback invoked by :meth:`Runner.sweep_pairs` after each *freshly
+#: simulated* pair lands in the caches: ``(workload, scheme, result)``.
+#: Cache hits and journal replays never fire it.
+ResultCallback = Callable[[str, str, RunResult], None]
 
 
 def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
@@ -285,8 +312,13 @@ class Runner:
         if use_disk_cache is None:
             use_disk_cache = os.environ.get("REPRO_NO_DISK_CACHE", "") != "1"
         self.use_disk_cache = use_disk_cache
-        self._memory: Dict[Tuple[str, str], RunResult] = {}
-        self._contexts: Dict[str, SchemeContext] = {}
+        self._memory: Dict[Tuple[str, str, str], RunResult] = {}
+        self._contexts: "OrderedDict[str, SchemeContext]" = OrderedDict()
+        # sweep()/run() are re-entrant (the sweep service issues them
+        # from several executor threads against one shared Runner);
+        # _memory writes are atomic dict ops, but the context LRU's
+        # build-insert-evict sequence is not, so it takes a lock.
+        self._context_lock = threading.Lock()
         #: Disk entries discarded as corrupt/stale by :meth:`_load_disk`
         #: over this Runner's lifetime (tests assert on it; a nonzero
         #: value after a clean run means something is mangling the
@@ -372,6 +404,15 @@ class Runner:
                 return loaded
         return None
 
+    def cached(self, workload: str, scheme: str) -> Optional[RunResult]:
+        """The cached result for one pair, or None — never simulates.
+
+        The sweep service's admission check: a pair with a warm entry
+        (memory or disk) is served straight from here; only misses are
+        admitted into the simulation queue.
+        """
+        return self._cached(workload, scheme)
+
     def _admit(self, workload: str, scheme: str, result: RunResult) -> None:
         """Install a fresh result in both cache layers."""
         self._memory[self._key(workload, scheme)] = result
@@ -379,7 +420,7 @@ class Runner:
             self._store_disk(workload, scheme, result)
 
     def context_for(self, workload: str) -> SchemeContext:
-        """Shared trace/oracle context per workload.
+        """Shared trace/oracle context per workload, LRU-bounded.
 
         Building a context also prewarms the workload's frontend plan
         (memo + ``.npz`` cache), so every scheme simulated against this
@@ -389,9 +430,19 @@ class Runner:
         is recorded here too (one live run per workload), for the same
         reason; in exact mode plans are per-scheme, so workers record
         their own as pairs come up.
+
+        At most ``REPRO_CONTEXT_CACHE`` contexts stay resident; the
+        least-recently-used one is dropped beyond that.  Eviction is
+        safe because everything a context holds is rebuilt bit-identical
+        from the trace/plan disk caches (``tests/test_sweep_bugs.py``
+        pins reload correctness), so a long-lived server process pays a
+        reload, never a wrong answer.
         """
-        ctx = self._contexts.get(workload)
-        if ctx is None:
+        with self._context_lock:
+            ctx = self._contexts.get(workload)
+            if ctx is not None:
+                self._contexts.move_to_end(workload)
+                return ctx
             trace = get_workload(workload).trace(records=self.records)
             ctx = SchemeContext(trace=trace, machine=self.machine)
             if _plans_enabled():
@@ -408,7 +459,10 @@ class Runner:
                         lambda: make_scheme(ENTANGLING_REFERENCE_SCHEME, ctx),
                     )
             self._contexts[workload] = ctx
-        return ctx
+            cap = _context_cache_cap()
+            while len(self._contexts) > cap:
+                self._contexts.popitem(last=False)
+            return ctx
 
     # -- running ------------------------------------------------------------
 
@@ -453,13 +507,36 @@ class Runner:
             self.run(workload, baseline)
         )
 
-    def _journal_path(self) -> Path:
-        """The sweep journal for this Runner's configuration."""
-        name = (
+    def _journal_prefix(self) -> str:
+        """Journal filename prefix shared by every sweep of this config."""
+        return (
             f"sweep.{self._prefetcher_cache_key()}.r{self.records}"
-            f".{self.machine.fingerprint()}.journal"
+            f".{self.machine.fingerprint()}"
         )
-        return _results_dir() / name
+
+    def _new_journal_path(self) -> Path:
+        """A journal path unique to one ``sweep_pairs`` call.
+
+        The pid/uuid suffix keeps concurrent sweeps of the *same*
+        configuration (two server requests, two processes) from
+        interleaving records in one file — and from the first
+        ``finish()`` deleting the other sweep's crash record.
+        """
+        return _results_dir() / (
+            f"{self._journal_prefix()}.{os.getpid()}-{uuid.uuid4().hex[:8]}"
+            ".journal"
+        )
+
+    def _stale_journal_paths(self) -> List[Path]:
+        """Every surviving journal for this configuration, oldest first.
+
+        A journal that still exists belongs to a sweep call that never
+        finished — a crashed parent (or a sweep that is live right now
+        in another process; ``resume=True`` callers own that trade-off).
+        The glob also matches the pre-suffix name format, so journals
+        written before the per-instance rename still resume.
+        """
+        return sorted(_results_dir().glob(f"{self._journal_prefix()}*.journal"))
 
     def sweep(
         self,
@@ -467,8 +544,32 @@ class Runner:
         schemes: Iterable[str],
         jobs: Optional[int] = None,
         resume: bool = False,
+        on_result: Optional[ResultCallback] = None,
     ) -> Dict[Tuple[str, str], RunResult]:
         """Run the full cross product; returns {(workload, scheme): result}.
+
+        A convenience wrapper over :meth:`sweep_pairs` for the common
+        grid shape; see there for the execution/crash-safety contract.
+        """
+        workloads = list(workloads)
+        schemes = list(schemes)
+        pairs = [(w, s) for w in workloads for s in schemes]
+        return self.sweep_pairs(
+            pairs, jobs=jobs, resume=resume, on_result=on_result
+        )
+
+    def sweep_pairs(
+        self,
+        pairs: Iterable[Tuple[str, str]],
+        jobs: Optional[int] = None,
+        resume: bool = False,
+        on_result: Optional[ResultCallback] = None,
+    ) -> Dict[Tuple[str, str], RunResult]:
+        """Run an explicit pair list; returns {(workload, scheme): result}.
+
+        Unlike :meth:`sweep` the pairs need not form a cross product —
+        the sweep service admits exactly the pairs no other request is
+        already simulating, which is rarely a full grid.
 
         ``jobs`` > 1 simulates uncached pairs in that many *resident*
         worker processes (default: the ``REPRO_JOBS`` environment
@@ -482,33 +583,46 @@ class Runner:
         scalar measurements, which the parent installs in both cache
         layers.
 
+        ``on_result`` is called in the sweeping thread after each
+        *freshly simulated* pair has been admitted to the caches and
+        journalled — the sweep service uses it to stream per-pair
+        progress and resolve in-flight dedup futures; cache hits never
+        fire it.
+
         Crash safety (``tests/test_fault_injection.py`` pins recovered
         sweeps scalar-identical to undisturbed ones): every completed
-        pair is appended to a per-configuration journal beside the
-        results cache; dead workers (the pool breaks) and hung pools
-        (no completion within ``REPRO_SWEEP_TIMEOUT`` seconds) are
-        killed and their unfinished pairs requeued into a rebuilt pool
-        with exponential backoff, each pair at most
-        ``REPRO_SWEEP_RETRIES`` times.  ``resume=True`` replays a
-        previous (killed) sweep's journal into the caches first, so
-        only genuinely unfinished pairs are resimulated — combined
-        with ``REPRO_CHECKPOINT_EVERY``, even a pair that died mid-run
-        restarts from its last engine checkpoint.  The journal is
-        deleted when the sweep call completes.
+        pair is appended to a journal beside the results cache, named
+        per sweep *call* (pid/uuid suffix) so concurrent sweeps of one
+        configuration never share a file; dead workers (the pool
+        breaks) and hung pools (no completion within
+        ``REPRO_SWEEP_TIMEOUT`` seconds) are killed and their
+        unfinished pairs requeued into a rebuilt pool with exponential
+        backoff, each pair at most ``REPRO_SWEEP_RETRIES`` times — but
+        a pair that fails with a *deterministic* error (anything other
+        than a dead pool or an injected fault) raises immediately, with
+        the worker's original exception chained as ``__cause__``.
+        ``resume=True`` discovers every surviving journal of this
+        configuration, replays them all into the caches first, and
+        deletes them once this sweep completes, so only genuinely
+        unfinished pairs are resimulated — combined with
+        ``REPRO_CHECKPOINT_EVERY``, even a pair that died mid-run
+        restarts from its last engine checkpoint.  This call's own
+        journal is deleted when it completes.
         """
-        workloads = list(workloads)
-        schemes = list(schemes)
+        pairs = list(pairs)
         if jobs is None:
             jobs = _default_jobs()
         elif jobs <= 0:
             raise ValueError(f"jobs must be positive, got {jobs}")
-        pairs = [(w, s) for w in workloads for s in schemes]
 
-        journal = _SweepJournal(self._journal_path())
+        journal = _SweepJournal(self._new_journal_path())
+        stale_journals: List[Path] = []
         if resume:
-            for workload, scheme, scalars in journal.replay():
-                if self._cached(workload, scheme) is None:
-                    self._admit(workload, scheme, RunResult(**scalars))
+            for path in self._stale_journal_paths():
+                stale_journals.append(path)
+                for workload, scheme, scalars in _SweepJournal(path).replay():
+                    if self._cached(workload, scheme) is None:
+                        self._admit(workload, scheme, RunResult(**scalars))
 
         pending = sorted(
             (w, s)
@@ -536,12 +650,17 @@ class Runner:
                 ctx = self.context_for(workload)
                 if workload in prepass_workloads:
                     cached_replacement_prepass(ctx.trace)
-            self._sweep_parallel(pending, jobs, journal)
+            self._sweep_parallel(pending, jobs, journal, on_result)
         else:
             for workload, scheme in pending:
-                journal.record(workload, scheme, self.run(workload, scheme))
+                result = self.run(workload, scheme)
+                journal.record(workload, scheme, result)
+                if on_result is not None:
+                    on_result(workload, scheme, result)
         results = {(w, s): self.run(w, s) for w, s in pairs}
         journal.finish()
+        for path in stale_journals:
+            path.unlink(missing_ok=True)
         return results
 
     def _sweep_parallel(
@@ -549,13 +668,17 @@ class Runner:
         pending: List[Tuple[str, str]],
         jobs: int,
         journal: _SweepJournal,
+        on_result: Optional[ResultCallback] = None,
     ) -> None:
         """Supervised parallel execution of ``pending`` pairs.
 
         Each round submits the work queue to a fresh pool and collects
-        completions as they arrive.  Three failure classes are handled:
+        completions as they arrive.  Three *transient* failure classes
+        are retried:
 
-        * a *failed job* (the worker raised) — requeue just that pair;
+        * an *injected fault* (:class:`~repro.common.faults.FaultInjected`
+          — the crash-safety harness standing in for a flaky job) —
+          requeue just that pair;
         * a *dead worker* (``BrokenProcessPool``: someone was killed,
           e.g. OOM) — the executor is unusable, requeue all unfinished;
         * a *hung pool* (nothing completed within the
@@ -563,13 +686,22 @@ class Runner:
           workers (they are non-daemonic and would otherwise keep the
           interpreter alive), requeue all unfinished.
 
+        Any *other* exception out of a worker is a deterministic
+        simulation error — the engine is deterministic, so re-running
+        the pair would reproduce the same crash ``REPRO_SWEEP_RETRIES``
+        times and then lose the traceback.  Those fail fast: the pool
+        is killed and a ``RuntimeError`` naming the pair raises with
+        the worker's original exception chained as ``__cause__``.
+
         Requeued pairs retry in a rebuilt pool after exponential
         backoff; a pair that fails more than ``REPRO_SWEEP_RETRIES``
-        times raises, so a deterministic crash cannot loop forever.
+        times raises (chaining the last exception seen for that pair,
+        if any), so even an injected crash cannot loop forever.
         """
         timeout = _sweep_timeout()
         retries = _sweep_retries()
         attempts: Dict[Tuple[str, str], int] = {}
+        last_exc: Dict[Tuple[str, str], BaseException] = {}
         queue = list(pending)
         round_number = 0
         while queue:
@@ -585,6 +717,7 @@ class Runner:
             queue = []
             failed: List[Tuple[str, str]] = []
             broken = False
+            fatal: Optional[Tuple[Tuple[str, str], BaseException]] = None
             remaining = set(futures)
             try:
                 while remaining:
@@ -600,21 +733,36 @@ class Runner:
                         pair = futures[future]
                         try:
                             workload, scheme, scalars = future.result()
-                        except BrokenProcessPool:
+                        except BrokenProcessPool as exc:
                             broken = True
+                            last_exc[pair] = exc
                             failed.append(pair)
-                        except Exception:
+                        except faults.FaultInjected as exc:
+                            last_exc[pair] = exc
                             failed.append(pair)
+                        except Exception as exc:
+                            fatal = (pair, exc)
+                            broken = True  # kill the pool, don't drain it
                         else:
                             result = RunResult(**scalars)
                             self._admit(workload, scheme, result)
                             journal.record(workload, scheme, result)
+                            if on_result is not None:
+                                on_result(workload, scheme, result)
+                        if fatal is not None:
+                            break
                     if broken:
                         break
             finally:
                 if broken:
                     _kill_pool_workers(pool)
                 pool.shutdown(wait=not broken, cancel_futures=True)
+            if fatal is not None:
+                pair, exc = fatal
+                raise RuntimeError(
+                    f"sweep pair {pair} failed deterministically "
+                    f"({type(exc).__name__}); not retrying"
+                ) from exc
             requeue = failed + [futures[f] for f in remaining]
             for pair in requeue:
                 count = attempts.get(pair, 0) + 1
@@ -623,5 +771,5 @@ class Runner:
                     raise RuntimeError(
                         f"sweep pair {pair} failed {count} times "
                         f"(REPRO_SWEEP_RETRIES={retries}); giving up"
-                    )
+                    ) from last_exc.get(pair)
             queue = sorted(set(requeue))

@@ -1,0 +1,34 @@
+"""Sweep-as-a-service: an admission-controlled simulation server.
+
+The fingerprinted npz/mmap/result-cache stack is a content-addressed
+store; this package adds the layer the "millions of users" shape needs
+on top of it — admission, in-flight dedup, queueing and a tested HTTP
+API surface, stdlib-only:
+
+* :mod:`repro.service.protocol` — the JSON wire schema and request
+  validation (reject before simulating);
+* :mod:`repro.service.admission` — the warm/in-flight/admit decision
+  and its statistics;
+* :mod:`repro.service.server` — the asyncio HTTP server and the
+  :class:`~repro.service.server.ServiceThread` harness tests/benches
+  embed;
+* :mod:`repro.service.client` — a blocking ``http.client`` client.
+"""
+
+from repro.service.admission import Admission, ServiceStats
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import ProtocolError, SweepRequest, parse_sweep_request
+from repro.service.server import ServiceConfig, ServiceThread, SweepService
+
+__all__ = [
+    "Admission",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceStats",
+    "ServiceThread",
+    "SweepRequest",
+    "SweepService",
+    "parse_sweep_request",
+]

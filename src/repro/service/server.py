@@ -1,0 +1,535 @@
+"""The sweep service: a long-lived asyncio HTTP simulation server.
+
+Request handling is a thin, single-threaded asyncio loop; simulation is
+not.  A ``POST /sweep`` request is partitioned by the admission table
+(:mod:`repro.service.admission`) into warm pairs (served straight out
+of the runner's fingerprinted result cache), in-flight pairs (joined to
+the future some concurrent request already owns) and admitted pairs —
+only the last are queued, through ``Runner.sweep_pairs`` running in a
+small thread pool gated by a semaphore (``REPRO_SERVICE_CONCURRENCY``
+sweeps at a time; each sweep may itself fan out across ``jobs`` worker
+processes).  A request whose cold work would exceed ``max_queue``
+pending sweeps is refused with 503 before any simulation starts — the
+admission-control analogue of ACIC bypassing a line the predictor says
+is not worth caching.
+
+Endpoints::
+
+    POST /sweep      run (or fetch) a grid; see repro.service.protocol
+    GET  /healthz    liveness + admission counters + queue depth
+    GET  /schemes    registered scheme names -> descriptions
+    GET  /workloads  registered workload names
+
+The server speaks minimal HTTP/1.1 over asyncio streams (stdlib only,
+one connection per request, ``Connection: close``).  Streaming
+responses use chunked transfer encoding, one JSON line per completed
+pair, so clients watch cold grids fill in pair by pair.
+
+:class:`ServiceThread` hosts a service on a background thread for
+tests, benches and :mod:`scripts.bench_service`;
+``scripts/serve_sweeps.py`` is the foreground entrypoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from threading import Event as ThreadEvent, Thread
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness.experiment import scaled_records
+from repro.harness.runner import Runner
+from repro.harness.schemes import available_schemes
+from repro.service.admission import Admission, Pair
+from repro.service.protocol import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    encode_jsonl,
+    pair_token,
+    parse_sweep_request,
+    result_event,
+    scalars_of,
+)
+from repro.uarch.params import MachineParams
+from repro.uarch.timing import RunResult
+from repro.workloads.profiles import ALL_WORKLOADS
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _service_concurrency() -> int:
+    """Concurrent ``Runner.sweep_pairs`` calls (REPRO_SERVICE_CONCURRENCY).
+
+    Each slot is one sweeping thread (which may itself drive ``jobs``
+    worker processes); two slots let a short request overtake a long
+    one without oversubscribing the machine by default.
+    """
+    env = os.environ.get("REPRO_SERVICE_CONCURRENCY", "").strip()
+    if not env:
+        return 2
+    slots = int(env)
+    if slots < 1:
+        raise ValueError(
+            f"REPRO_SERVICE_CONCURRENCY must be >= 1, got {slots}"
+        )
+    return slots
+
+
+@dataclass
+class ServiceConfig:
+    """Server-side knobs (requests may narrow, never widen, them)."""
+
+    #: Default trace length for requests that omit ``records``
+    #: (None = the harness default, honouring ``REPRO_SCALE``).
+    records: Optional[int] = None
+    #: Worker processes per cold sweep (``Runner.sweep_pairs(jobs=)``).
+    jobs: int = 1
+    #: Concurrent sweeps; None = ``REPRO_SERVICE_CONCURRENCY`` (or 2).
+    max_concurrent_sweeps: Optional[int] = None
+    #: Cold sweeps allowed in flight/queued before requests that would
+    #: add more are refused with 503 (warm/joined requests always pass).
+    max_queue: int = 8
+
+    def concurrency(self) -> int:
+        return self.max_concurrent_sweeps or _service_concurrency()
+
+
+class _HttpError(Exception):
+    """Request-level failure carrying its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class SweepService:
+    """One service instance: admission table, runner pool, sim slots."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.admission = Admission()
+        slots = self.config.concurrency()
+        self._sim_slots = asyncio.Semaphore(slots)
+        self._sim_pool = ThreadPoolExecutor(
+            max_workers=slots, thread_name_prefix="sweep-sim"
+        )
+        #: Cold sweeps scheduled and not yet finished (the 503 gate).
+        self._cold_sweeps = 0
+        #: One Runner per distinct (records, prefetcher, machine)
+        #: configuration, shared across requests so the in-memory
+        #: result cache and the context LRU are server-wide.  Only the
+        #: event-loop thread mutates this dict.
+        self._runners: Dict[Tuple[int, str, str], Runner] = {}
+
+    def close(self) -> None:
+        self._sim_pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- runner pool --------------------------------------------------------
+
+    def _runner_for(
+        self, records: int, prefetcher: str, machine: MachineParams
+    ) -> Runner:
+        key = (records, prefetcher, machine.fingerprint())
+        runner = self._runners.get(key)
+        if runner is None:
+            runner = Runner(
+                records=records, prefetcher=prefetcher, machine=machine
+            )
+            self._runners[key] = runner
+        return runner
+
+    # -- simulation ---------------------------------------------------------
+
+    async def _simulate(self, runner: Runner, admitted: List[Pair]) -> None:
+        """Queue one request's admitted pairs through ``sweep_pairs``.
+
+        Runs in a sim-pool thread behind the concurrency semaphore.
+        Per-pair completions resolve the in-flight futures as they land
+        (threadsafe hop back onto the loop); pairs the sweep satisfied
+        from a cache layer instead of ``on_result`` are resolved from
+        the returned map, and a crashed sweep fails every still-pending
+        future so joined requests get an error, not a hung connection.
+        """
+        loop = asyncio.get_running_loop()
+
+        def on_result(workload: str, scheme: str, result: RunResult) -> None:
+            loop.call_soon_threadsafe(
+                self.admission.resolve, runner, workload, scheme, result
+            )
+
+        try:
+            async with self._sim_slots:
+                results = await loop.run_in_executor(
+                    self._sim_pool,
+                    lambda: runner.sweep_pairs(
+                        admitted, jobs=self.config.jobs, on_result=on_result
+                    ),
+                )
+            for pair in admitted:
+                self.admission.resolve(runner, *pair, results[pair])
+        except Exception as exc:
+            self.admission.stats.errors += 1
+            self.admission.fail(runner, admitted, exc)
+        finally:
+            self._cold_sweeps -= 1
+
+    # -- request handling ---------------------------------------------------
+
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: read a request, route it, close."""
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is not None:
+                await self._route(writer, *parsed)
+        except _HttpError as exc:
+            await self._respond_json(
+                writer, exc.status, {"error": str(exc)}
+            )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request/mid-response
+        except Exception as exc:  # never kill the accept loop
+            self.admission.stats.errors += 1
+            try:
+                await self._respond_json(
+                    writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+            except (ConnectionError, RuntimeError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None  # connection opened and closed without a request
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _HttpError(400, "malformed Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(
+                413, f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        target: str,
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> None:
+        path = target.split("?", 1)[0]
+        if path == "/sweep":
+            if method != "POST":
+                raise _HttpError(405, "use POST /sweep")
+            await self._handle_sweep(writer, body)
+        elif path == "/healthz" and method == "GET":
+            await self._respond_json(
+                writer,
+                200,
+                {
+                    "status": "ok",
+                    "stats": self.admission.stats.snapshot(),
+                    "in_flight_pairs": self.admission.in_flight(),
+                    "cold_sweeps": self._cold_sweeps,
+                    "runners": len(self._runners),
+                },
+            )
+        elif path == "/schemes" and method == "GET":
+            await self._respond_json(writer, 200, available_schemes())
+        elif path == "/workloads" and method == "GET":
+            await self._respond_json(writer, 200, sorted(ALL_WORKLOADS))
+        else:
+            raise _HttpError(404, f"unknown endpoint {method} {path}")
+
+    async def _handle_sweep(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        try:
+            request = parse_sweep_request(body)
+        except ProtocolError as exc:
+            self.admission.stats.errors += 1
+            await self._respond_json(writer, 400, {"error": str(exc)})
+            return
+        records = (
+            request.records or self.config.records or scaled_records(None)
+        )
+        runner = self._runner_for(records, request.prefetcher, request.machine)
+        loop = asyncio.get_running_loop()
+        # No await between partition and (reject | create_task): the
+        # admitted set is claimed atomically with respect to every
+        # other request on this loop.
+        warm, joined, admitted = self.admission.partition(
+            runner, request.pairs(), loop
+        )
+        if admitted and self._cold_sweeps >= self.config.max_queue:
+            self.admission.abandon(runner, admitted)
+            self.admission.stats.rejected += 1
+            await self._respond_json(
+                writer,
+                503,
+                {
+                    "error": (
+                        f"cold-work queue full "
+                        f"({self._cold_sweeps} sweeps in flight, "
+                        f"max {self.config.max_queue}); retry later"
+                    )
+                },
+            )
+            return
+        self.admission.stats.requests += 1
+        if admitted:
+            self._cold_sweeps += 1
+            asyncio.ensure_future(self._simulate(runner, admitted))
+        admitted_set = set(admitted)
+        sources = {pair: "warm" for pair in warm}
+        for pair in joined:
+            sources[pair] = (
+                "simulated" if pair in admitted_set else "inflight"
+            )
+        if request.stream:
+            await self._respond_stream(writer, warm, joined, sources)
+        else:
+            await self._respond_bulk(writer, warm, joined, sources)
+
+    async def _respond_bulk(
+        self,
+        writer: asyncio.StreamWriter,
+        warm: Dict[Pair, RunResult],
+        joined: Dict[Pair, "asyncio.Future[RunResult]"],
+        sources: Dict[Pair, str],
+    ) -> None:
+        results = {
+            pair_token(*pair): scalars_of(result)
+            for pair, result in warm.items()
+        }
+        try:
+            for pair, future in joined.items():
+                results[pair_token(*pair)] = scalars_of(await future)
+        except Exception as exc:
+            await self._respond_json(
+                writer, 500, {"error": f"sweep failed: {exc}"}
+            )
+            return
+        await self._respond_json(
+            writer,
+            200,
+            {
+                "results": results,
+                "sources": {
+                    pair_token(*pair): source
+                    for pair, source in sources.items()
+                },
+                "stats": self.admission.stats.snapshot(),
+            },
+        )
+
+    async def _respond_stream(
+        self,
+        writer: asyncio.StreamWriter,
+        warm: Dict[Pair, RunResult],
+        joined: Dict[Pair, "asyncio.Future[RunResult]"],
+        sources: Dict[Pair, str],
+    ) -> None:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        for pair, result in warm.items():
+            await self._write_chunk(
+                writer, encode_jsonl(result_event(*pair, "warm", result))
+            )
+
+        async def labelled(pair: Pair) -> Tuple[Pair, RunResult]:
+            return pair, await joined[pair]
+
+        tasks = {
+            asyncio.ensure_future(labelled(pair)): pair for pair in joined
+        }
+        pending = set(tasks)
+        failure: Optional[BaseException] = None
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:  # drain everything: no abandoned futures
+                pair = tasks[task]
+                try:
+                    _, result = task.result()
+                except Exception as exc:
+                    failure = exc
+                else:
+                    await self._write_chunk(
+                        writer,
+                        encode_jsonl(
+                            result_event(*pair, sources[pair], result)
+                        ),
+                    )
+        if failure is not None:
+            await self._write_chunk(
+                writer,
+                encode_jsonl(
+                    {"event": "error", "error": f"sweep failed: {failure}"}
+                ),
+            )
+        else:
+            await self._write_chunk(
+                writer,
+                encode_jsonl(
+                    {
+                        "event": "done",
+                        "pairs": len(warm) + len(joined),
+                        "stats": self.admission.stats.snapshot(),
+                    }
+                ),
+            )
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    @staticmethod
+    async def _write_chunk(writer: asyncio.StreamWriter, data: bytes) -> None:
+        writer.write(f"{len(data):X}\r\n".encode() + data + b"\r\n")
+        await writer.drain()
+
+    @staticmethod
+    async def _respond_json(
+        writer: asyncio.StreamWriter, status: int, payload: object
+    ) -> None:
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode()
+        writer.write(head + body)
+        await writer.drain()
+
+
+async def serve(
+    config: Optional[ServiceConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> None:
+    """Run a service in the current event loop until cancelled."""
+    service = SweepService(config)
+    server = await asyncio.start_server(service.handle, host, port)
+    bound = server.sockets[0].getsockname()
+    print(f"sweep service listening on http://{bound[0]}:{bound[1]}")
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        service.close()
+
+
+class ServiceThread:
+    """A sweep service hosted on a background thread.
+
+    The harness tests, benches and ``bench_service.py`` all embed the
+    server this way::
+
+        with ServiceThread(ServiceConfig(records=4000)) as svc:
+            client = ServiceClient(port=svc.port)
+            ...
+
+    ``port`` is the ephemeral port actually bound (the constructor's
+    ``port=0`` default asks the OS for a free one, so parallel test
+    runs never collide).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._config = config
+        self._host = host
+        self._port = port
+        self.port: Optional[int] = None
+        self.service: Optional[SweepService] = None
+        self._ready = ThreadEvent()
+        self._failure: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread = Thread(
+            target=self._run, name="sweep-service", daemon=True
+        )
+
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        self._ready.wait()
+        if self._failure is not None:
+            raise RuntimeError("sweep service failed to start") from self._failure
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced by start()
+            self._failure = exc
+        finally:
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.service = SweepService(self._config)
+        server = await asyncio.start_server(
+            self.service.handle, self._host, self._port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            self.service.close()

@@ -146,8 +146,10 @@ class TestSupervisedSweepRecovery:
         fault_env("worker:raise@1", latch=False)
         monkeypatch.setenv("REPRO_SWEEP_RETRIES", "0")
         runner = Runner(records=RECORDS, use_disk_cache=False)
-        with pytest.raises(RuntimeError, match="giving up"):
+        with pytest.raises(RuntimeError, match="giving up") as excinfo:
             runner.sweep(WORKLOADS, SCHEMES, jobs=2)
+        # The last per-pair exception is chained, not swallowed.
+        assert isinstance(excinfo.value.__cause__, FaultInjected)
 
 
 class TestJournalResume:
@@ -171,9 +173,11 @@ class TestJournalResume:
         crashed = Runner(records=RECORDS, use_disk_cache=False)
         with pytest.raises(RuntimeError):
             crashed.sweep(workloads, schemes, jobs=2)
-        journal_path = crashed._journal_path()
-        assert journal_path.exists(), "aborted sweep must leave its journal"
-        survivors = list(_SweepJournal(journal_path).replay())
+        journals = crashed._stale_journal_paths()
+        assert journals, "aborted sweep must leave its journal"
+        survivors = [
+            entry for path in journals for entry in _SweepJournal(path).replay()
+        ]
         assert survivors, "some pairs completed before the crash"
 
         monkeypatch.delenv("REPRO_FAULT", raising=False)
@@ -182,7 +186,10 @@ class TestJournalResume:
         resumed = Runner(records=RECORDS, use_disk_cache=False)
         results = resumed.sweep(workloads, schemes, jobs=2, resume=True)
         assert {k: _scalars(v) for k, v in results.items()} == expected
-        assert not journal_path.exists(), "completed sweep must drop journal"
+        assert not resumed._stale_journal_paths(), (
+            "completed sweep must drop its own journal and the stale "
+            "ones it replayed"
+        )
 
     def test_resume_replays_journal_without_simulating(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
@@ -200,14 +207,14 @@ class TestJournalResume:
             prefetches_issued=5,
             mispredicted_transitions=6,
         )
-        journal = _SweepJournal(runner._journal_path())
+        journal = _SweepJournal(runner._new_journal_path())
         journal.record(WORKLOADS[0], "lru", planted)
         journal._fh.close()
 
         results = runner.sweep((WORKLOADS[0],), ("lru",), resume=True)
         # The planted scalars came back: the pair was replayed, not rerun.
         assert results[(WORKLOADS[0], "lru")].cycles == 123456.0
-        assert not runner._journal_path().exists()
+        assert not runner._stale_journal_paths()
 
     def test_without_resume_journal_is_ignored(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
@@ -224,12 +231,16 @@ class TestJournalResume:
             prefetches_issued=5,
             mispredicted_transitions=6,
         )
-        journal = _SweepJournal(runner._journal_path())
+        planted_path = runner._new_journal_path()
+        journal = _SweepJournal(planted_path)
         journal.record(WORKLOADS[0], "lru", planted)
         journal._fh.close()
 
         results = runner.sweep((WORKLOADS[0],), ("lru",))
         assert results[(WORKLOADS[0], "lru")].cycles != 123456.0
+        # Without resume the foreign journal is not consumed either: it
+        # still holds its crash record for a later resuming sweep.
+        assert planted_path.exists()
 
     def test_replay_tolerates_torn_and_foreign_lines(self, tmp_path):
         path = tmp_path / "sweep.journal"

@@ -1,0 +1,372 @@
+"""Sweep service tests: wire protocol, admission/dedup, fault paths.
+
+The acceptance properties this file pins:
+
+* every response is scalar-identical to a direct ``Runner.sweep`` of
+  the same grid (including randomized request grids);
+* concurrent identical requests cost at most one simulation per
+  distinct (workload, scheme) pair;
+* warm pairs are served from the fingerprinted result cache without
+  re-simulating;
+* a killed worker or a mangled trace sidecar on the server path
+  degrades to a retried/rebuilt job with identical scalars — never a
+  hung connection;
+* a sweep that genuinely fails turns into an HTTP 500 / stream error
+  event with the in-flight table left clean.
+
+Every test runs against an isolated temporary result cache, so the
+repo's ``.cache/results`` is never written.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro.harness.runner as runner_mod
+from repro.common import faults
+from repro.harness import schemes as schemes_mod
+from repro.harness.runner import _SCALAR_FIELDS, Runner
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    pair_token,
+    parse_sweep_request,
+)
+from repro.service.server import ServiceConfig, ServiceThread
+from repro.uarch.params import DEFAULT_MACHINE
+
+RECORDS = 2_000
+WORKLOADS = ("x264", "gcc")
+SCHEMES = ("lru", "srrip")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Every test gets its own results dir; the repo cache stays clean."""
+    monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "results"))
+
+
+def _scalars(result):
+    return {k: getattr(result, k) for k in _SCALAR_FIELDS}
+
+
+def _direct(workloads=WORKLOADS, schemes=SCHEMES, records=RECORDS):
+    """Scalars from a direct in-memory sweep (the ground truth)."""
+    runner = Runner(records=records, use_disk_cache=False)
+    return {
+        pair_token(w, s): _scalars(r)
+        for (w, s), r in runner.sweep(workloads, schemes).items()
+    }
+
+
+def _request(body: dict) -> bytes:
+    return json.dumps(body).encode()
+
+
+class TestProtocol:
+    """Request validation: bad input dies with 400 before costing a sim."""
+
+    def test_minimal_request_defaults(self):
+        request = parse_sweep_request(
+            _request({"workloads": ["x264"], "schemes": ["lru"]})
+        )
+        assert request.workloads == ("x264",)
+        assert request.schemes == ("lru",)
+        assert request.records is None
+        assert request.prefetcher == "fdp"
+        assert request.machine == DEFAULT_MACHINE
+        assert request.stream is False
+        assert request.pairs() == [("x264", "lru")]
+
+    def test_pairs_are_deduped_grid_order(self):
+        request = parse_sweep_request(
+            _request(
+                {"workloads": ["x264", "x264"], "schemes": ["lru", "srrip"]}
+            )
+        )
+        assert request.pairs() == [("x264", "lru"), ("x264", "srrip")]
+
+    def test_machine_overrides_apply(self):
+        request = parse_sweep_request(
+            _request(
+                {
+                    "workloads": ["x264"],
+                    "schemes": ["lru"],
+                    "machine": {"fetch_width": 8},
+                }
+            )
+        )
+        assert request.machine.fetch_width == 8
+        assert request.machine.mshr_entries == DEFAULT_MACHINE.mshr_entries
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {"schemes": ["lru"]},  # workloads missing
+            {"workloads": [], "schemes": ["lru"]},  # empty
+            {"workloads": "x264", "schemes": ["lru"]},  # not a list
+            {"workloads": [1], "schemes": ["lru"]},  # not strings
+            {"workloads": ["nope"], "schemes": ["lru"]},  # unknown workload
+            {"workloads": ["x264"], "schemes": ["nope"]},  # unknown scheme
+            {"workloads": ["x264"], "schemes": ["lru"], "records": "many"},
+            {"workloads": ["x264"], "schemes": ["lru"], "records": True},
+            {"workloads": ["x264"], "schemes": ["lru"], "records": 10},
+            {"workloads": ["x264"], "schemes": ["lru"], "prefetcher": "bogus"},
+            {"workloads": ["x264"], "schemes": ["lru"], "machine": 5},
+            {"workloads": ["x264"], "schemes": ["lru"], "machine": {"bogus": 1}},
+            {
+                "workloads": ["x264"],
+                "schemes": ["lru"],
+                "machine": {"fetch_width": "wide"},
+            },
+            {"workloads": ["x264"], "schemes": ["lru"], "stream": 1},
+            {"workloads": ["x264"], "schemes": ["lru"], "workloadz": []},
+        ],
+    )
+    def test_invalid_requests_rejected(self, body):
+        with pytest.raises(ProtocolError):
+            parse_sweep_request(_request(body))
+
+    @pytest.mark.parametrize("raw", [b"not json", b"[1, 2]", b'"sweep"'])
+    def test_non_object_bodies_rejected(self, raw):
+        with pytest.raises(ProtocolError):
+            parse_sweep_request(raw)
+
+    def test_oversized_body_rejected(self):
+        raw = _request(
+            {"workloads": ["x264"] * 20_000, "schemes": ["lru"]}
+        )
+        assert len(raw) > MAX_BODY_BYTES
+        with pytest.raises(ProtocolError, match="exceeds"):
+            parse_sweep_request(raw)
+
+
+@pytest.fixture()
+def service():
+    with ServiceThread(ServiceConfig(records=RECORDS)) as svc:
+        yield ServiceClient(port=svc.port)
+
+
+class TestServer:
+    def test_cold_then_warm_matches_direct_sweep(self, service):
+        expected = _direct()
+        cold = service.sweep(WORKLOADS, SCHEMES)
+        assert cold["results"] == expected
+        assert set(cold["sources"].values()) == {"simulated"}
+
+        warm = service.sweep(WORKLOADS, SCHEMES)
+        assert warm["results"] == expected
+        assert set(warm["sources"].values()) == {"warm"}, (
+            "a repeated grid must be served from the result cache"
+        )
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["stats"]["requests"] == 2
+        assert health["stats"]["warm_hits"] == len(expected)
+        assert health["stats"]["admitted"] == len(expected)
+        assert health["in_flight_pairs"] == 0
+        # The simulate task's bookkeeping finishes just after the
+        # response is written; the queue must drain promptly after.
+        deadline = time.monotonic() + 10
+        while service.health()["cold_sweeps"] and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert service.health()["cold_sweeps"] == 0
+
+    def test_duplicate_requests_cost_one_sim_per_pair(self, service, monkeypatch):
+        """N clients asking the same cold grid -> each pair simulated once."""
+        expected = _direct()
+        simulated = []
+        lock = threading.Lock()
+        real = runner_mod.run_experiment
+
+        def counting(workload, scheme, **kwargs):
+            with lock:
+                simulated.append((workload, scheme))
+            return real(workload, scheme, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "run_experiment", counting)
+        clients = 6
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            responses = list(
+                pool.map(
+                    lambda _: service.sweep(WORKLOADS, SCHEMES),
+                    range(clients),
+                )
+            )
+        for response in responses:
+            assert response["results"] == expected
+        grid = sorted((w, s) for w in WORKLOADS for s in SCHEMES)
+        assert sorted(simulated) == grid, (
+            "concurrent identical requests must dedupe to exactly one "
+            "simulation per distinct pair"
+        )
+
+    def test_server_matches_direct_sweep_every_scheme_20k(self, tmp_path, monkeypatch):
+        """Every registered scheme, 20k records: server == direct sweep.
+
+        (The "20k" in the name keeps this full grid out of the
+        coverage-gate selection, like the other whole-engine grids.)
+        """
+        workload = "media-streaming"
+        records = 20_000
+        schemes = sorted(schemes_mod.available_schemes())
+        direct = Runner(records=records, use_disk_cache=False)
+        expected = {
+            pair_token(w, s): _scalars(r)
+            for (w, s), r in direct.sweep((workload,), schemes).items()
+        }
+        with ServiceThread(ServiceConfig(records=records)) as svc:
+            response = ServiceClient(port=svc.port).sweep((workload,), schemes)
+        assert response["results"] == expected
+        assert set(response["sources"].values()) == {"simulated"}
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_grids_match_direct_sweep(self, service, seed):
+        """Property-style: any valid request grid == direct Runner.sweep."""
+        rng = random.Random(seed)
+        workloads = rng.sample(["x264", "gcc", "media-streaming"], rng.randint(1, 2))
+        schemes = rng.sample(["lru", "srrip", "acic"], rng.randint(1, 2))
+        response = service.sweep(workloads, schemes)
+        assert response["results"] == _direct(workloads, schemes)
+
+    def test_streaming_emits_result_per_pair_then_done(self, service):
+        expected = _direct()
+        events = list(service.sweep_stream(WORKLOADS, SCHEMES))
+        results = [e for e in events if e["event"] == "result"]
+        assert len(results) == len(expected)
+        for event in results:
+            token = pair_token(event["workload"], event["scheme"])
+            assert event["scalars"] == expected[token]
+            assert event["source"] == "simulated"
+        assert events[-1]["event"] == "done"
+        assert events[-1]["pairs"] == len(expected)
+
+        # A warm stream replays the same events from the cache.
+        warm = list(service.sweep_stream(WORKLOADS, SCHEMES))
+        assert {e["source"] for e in warm if e["event"] == "result"} == {"warm"}
+
+    def test_unknown_names_rejected_with_400(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.sweep(["not-a-workload"], ["lru"])
+        assert excinfo.value.status == 400
+        assert "not-a-workload" in excinfo.value.message
+        with pytest.raises(ServiceError) as excinfo:
+            service.sweep(["x264"], ["not-a-scheme"])
+        assert excinfo.value.status == 400
+
+    def test_http_surface(self, service):
+        schemes = service.schemes()
+        assert "lru" in schemes and "acic" in schemes
+        assert "x264" in service.workloads()
+        with pytest.raises(ServiceError) as excinfo:
+            service._request_json("GET", "/nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            service._request_json("GET", "/sweep")
+        assert excinfo.value.status == 405
+        with pytest.raises(ServiceError) as excinfo:
+            service.sweep(["x264"] * 20_000, ["lru"])
+        assert excinfo.value.status == 413
+
+    def test_full_queue_rejects_cold_but_serves_warm(self, tmp_path):
+        """max_queue=0: cold work is refused up front, warm still flows."""
+        with ServiceThread(
+            ServiceConfig(records=RECORDS, max_queue=0)
+        ) as svc:
+            client = ServiceClient(port=svc.port)
+            with pytest.raises(ServiceError) as excinfo:
+                client.sweep(WORKLOADS, SCHEMES)
+            assert excinfo.value.status == 503
+            health = client.health()
+            assert health["stats"]["rejected"] == 1
+            assert health["in_flight_pairs"] == 0, (
+                "rejected pairs must be withdrawn from the in-flight table"
+            )
+
+            # Prewarm the shared disk cache directly; the same request
+            # now has no cold work and must pass the closed queue.
+            Runner(records=RECORDS).sweep(WORKLOADS, SCHEMES)
+            warm = client.sweep(WORKLOADS, SCHEMES)
+            assert set(warm["sources"].values()) == {"warm"}
+
+    def test_failed_sweep_returns_500_and_clears_inflight(self, service, monkeypatch):
+        def poisoned(ctx):
+            raise ValueError("poisoned scheme factory")
+
+        monkeypatch.setitem(schemes_mod._REGISTRY, "poisoned", poisoned)
+        monkeypatch.setitem(schemes_mod._NEEDS_ORACLE, "poisoned", False)
+        monkeypatch.setitem(
+            schemes_mod._DESCRIPTIONS, "poisoned", "always fails (test only)"
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            service.sweep(["x264"], ["poisoned"])
+        assert excinfo.value.status == 500
+        assert "sweep failed" in excinfo.value.message
+        health = service.health()
+        assert health["stats"]["errors"] >= 1
+        assert health["in_flight_pairs"] == 0, (
+            "a failed sweep must fail its futures, not leak them"
+        )
+
+        # The streaming path reports the same failure as an error event
+        # instead of hanging the chunked response.
+        events = list(service.sweep_stream(["x264"], ["poisoned"]))
+        assert events[-1]["event"] == "error"
+        assert "sweep failed" in events[-1]["error"]
+
+
+class TestServerFaultInjection:
+    """REPRO_FAULT sites on the server path: responses stay identical."""
+
+    @pytest.fixture()
+    def arm(self, tmp_path, monkeypatch):
+        def _arm(spec):
+            monkeypatch.setenv("REPRO_FAULT", spec)
+            monkeypatch.setenv("REPRO_FAULT_ONCE", str(tmp_path / "latch"))
+            faults.reset()
+
+        yield _arm
+        monkeypatch.delenv("REPRO_FAULT", raising=False)
+        monkeypatch.delenv("REPRO_FAULT_ONCE", raising=False)
+        faults.reset()
+
+    def test_killed_worker_degrades_to_retried_job(self, arm):
+        """A SIGKILLed sweep worker mid-request: the client still gets a
+        complete, scalar-identical response — not a hung connection."""
+        expected = _direct()
+        arm("worker:kill@1")
+        with ServiceThread(ServiceConfig(records=RECORDS, jobs=2)) as svc:
+            client = ServiceClient(port=svc.port)
+            response = client.sweep(WORKLOADS, SCHEMES)
+        assert response["results"] == expected
+        assert set(response["sources"].values()) == {"simulated"}
+
+    def test_truncated_trace_sidecar_is_rebuilt(self, arm, tmp_path, monkeypatch):
+        """A trace sidecar mangled behind the server's back: the next
+        server to load that workload falls back to the npz and answers
+        with identical scalars."""
+        expected = _direct()
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+        arm("sidecar:truncate@1")
+        with ServiceThread(ServiceConfig(records=RECORDS)) as svc:
+            first = ServiceClient(port=svc.port).sweep(WORKLOADS, SCHEMES)
+        assert first["results"] == expected
+
+        # Fresh server, fresh result cache: the grid is cold again and
+        # must be re-simulated through the mangled sidecar.
+        monkeypatch.setenv(
+            "REPRO_RESULT_CACHE", str(tmp_path / "results-second")
+        )
+        monkeypatch.delenv("REPRO_FAULT", raising=False)
+        faults.reset()
+        with ServiceThread(ServiceConfig(records=RECORDS)) as svc:
+            second = ServiceClient(port=svc.port).sweep(WORKLOADS, SCHEMES)
+        assert second["results"] == expected
+        assert set(second["sources"].values()) == {"simulated"}
