@@ -98,7 +98,10 @@ def main(argv: list[str] | None = None) -> int:
         )
 
         with ServiceThread(ServiceConfig(records=args.records)) as svc:
-            client = ServiceClient(port=svc.port)
+            # retries=4: transient 503s / connection refusals (e.g. a
+            # server restarting mid-bench) back off and retry instead
+            # of failing the bench run.
+            client = ServiceClient(port=svc.port, retries=4)
 
             start = time.perf_counter()
             cold = client.sweep(workloads, schemes)

@@ -67,7 +67,11 @@ DEFAULT_PYTEST_ARGS = [
     "tests/test_throughput_bench.py",
     "tests/test_service.py",
     "tests/test_sweep_bugs.py",
-    "-k", "not 20k and not Simulate and not conservation"
+    "tests/test_shards.py",
+    "tests/test_service_drain.py",
+    # Sigterm excluded: the subprocess server's coverage is invisible
+    # to the in-process tracer and the spawn costs the gate seconds.
+    "-k", "not 20k and not Simulate and not conservation and not Sigterm"
     " and not all_workload_profiles",
 ]
 

@@ -16,7 +16,14 @@ Then, from any HTTP client::
 Warm pairs answer straight from the fingerprinted ``.cache/results``
 store; identical in-flight grids are deduped to one simulation; cold
 work queues through ``Runner.sweep`` with bounded concurrency (see
-``ARCHITECTURE.md``, "The service layer").  Stop with Ctrl-C.
+``ARCHITECTURE.md``, "The service layer").
+
+Shutdown is graceful: SIGTERM (or Ctrl-C) starts a drain — new
+``/sweep`` requests get 503 while in-flight sweeps run to their next
+shard-ledger boundary (``REPRO_SHARD_WINDOW``; non-sharded sweeps run
+to completion within ``--drain-timeout``), then the process exits 0.
+Restarting the server resumes drained work from the fsync'd ledgers,
+scalar-identical to an uninterrupted run (``tests/test_service_drain.py``).
 """
 
 from __future__ import annotations
@@ -63,6 +70,13 @@ def main(argv: list[str] | None = None) -> int:
         default=8,
         help="cold sweeps in flight before new cold work is refused (503)",
     )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to let in-flight sweeps reach a shard boundary "
+        "(or finish) after SIGTERM/SIGINT before exiting",
+    )
     args = parser.parse_args(argv)
 
     config = ServiceConfig(
@@ -72,9 +86,19 @@ def main(argv: list[str] | None = None) -> int:
         max_queue=args.max_queue,
     )
     try:
-        asyncio.run(serve(config, host=args.host, port=args.port))
+        asyncio.run(
+            serve(
+                config,
+                host=args.host,
+                port=args.port,
+                drain_timeout=args.drain_timeout,
+            )
+        )
     except KeyboardInterrupt:
+        # Only reachable where add_signal_handler is unavailable (the
+        # handler path turns SIGINT into a drain, not an exception).
         print("\nsweep service stopped")
+    print("sweep service exited cleanly", flush=True)
     return 0
 
 

@@ -7,6 +7,7 @@ from repro.harness.experiment import (
     scaled_records,
 )
 from repro.harness.runner import Runner
+from repro.harness.shards import DrainRequested, ShardLedger, shard_window
 from repro.harness.schemes import (
     SchemeContext,
     available_schemes,
@@ -21,6 +22,9 @@ __all__ = [
     "run_experiment",
     "scaled_records",
     "Runner",
+    "DrainRequested",
+    "ShardLedger",
+    "shard_window",
     "SchemeContext",
     "available_schemes",
     "make_scheme",

@@ -21,6 +21,7 @@ from repro.frontend.plan import cached_plan, plannable
 from repro.frontend.stack import BranchStack
 from repro.harness.checkpoint import checkpoint_every, store_for
 from repro.harness.schemes import SchemeContext, make_scheme
+from repro.harness import shards
 from repro.uarch.params import DEFAULT_MACHINE, MachineParams
 from repro.uarch.timing import RunResult, simulate
 from repro.workloads.profiles import get_workload
@@ -87,11 +88,26 @@ def run_experiment(
     machine: Optional[MachineParams] = None,
     context: Optional[SchemeContext] = None,
     use_plan: Optional[bool] = None,
+    shard_window: Optional[int] = None,
+    on_shard=None,
+    should_stop=None,
 ) -> ExperimentResult:
     """Simulate ``scheme`` on ``workload`` and return the measurements.
 
     ``context`` lets callers share a trace/oracle across several runs
     (the sweep runner does); otherwise one is built from the profile.
+
+    ``shard_window`` (default: ``REPRO_SHARD_WINDOW``, 0 = off) runs the
+    simulation as windowed shards through a fsync'd shard ledger
+    (:mod:`repro.harness.shards`): the engine checkpoints at every
+    window boundary, each boundary persists before the next window
+    starts, and an interrupted run resumes from the last verified
+    boundary.  When a window is set it takes precedence over
+    ``REPRO_CHECKPOINT_EVERY``.  ``on_shard(shard, done, total)`` fires
+    after each boundary commits; ``should_stop()`` is polled at each
+    boundary and, when true, stops the run with
+    :class:`~repro.harness.shards.DrainRequested` (ledger kept — the
+    graceful-drain path).
 
     Plannable prefetchers (fdp/none) run against a precomputed, cached
     :class:`~repro.frontend.plan.FrontendPlan` — the scheme-independent
@@ -119,17 +135,50 @@ def run_experiment(
     if use_plan is None:
         use_plan = _plans_enabled()
 
+    window = shards.shard_window() if shard_window is None else int(shard_window)
     every = checkpoint_every()
 
     def _sim(mode: str, **kwargs):
-        """Run ``simulate``, windowed through a checkpoint store when on.
+        """Run ``simulate``, windowed through a ledger/store when on.
 
-        With REPRO_CHECKPOINT_EVERY unset this is a plain call; with it
-        set, the engine resumes from the newest valid checkpoint for
-        this exact run identity, snapshots every ``every`` records, and
-        drops the file once the run completes.  A resumed run is pinned
-        bit-identical to a single pass by ``tests/test_checkpoint.py``.
+        Sharding (``window > 0``) wins over plain checkpointing: the
+        run executes window-by-window through a shard ledger that
+        persists every boundary (see :mod:`repro.harness.shards`) and
+        honours ``on_shard``/``should_stop``.  Otherwise, with
+        REPRO_CHECKPOINT_EVERY set, the engine resumes from the newest
+        valid checkpoint for this exact run identity, snapshots every
+        ``every`` records, and drops the file once the run completes.
+        Both paths are pinned bit-identical to a single pass
+        (``tests/test_shards.py``, ``tests/test_checkpoint.py``).
         """
+        if window > 0:
+            ledger = shards.ledger_for(
+                workload,
+                scheme,
+                prefetcher,
+                records,
+                machine.fingerprint(),
+                trace.digest,
+                mode,
+                window,
+            )
+            return shards.run_windowed(
+                lambda state, on_ckpt: simulate(
+                    trace,
+                    scheme_obj,
+                    machine=machine,
+                    resume=state,
+                    checkpoint_every=window,
+                    on_checkpoint=on_ckpt,
+                    **kwargs,
+                ),
+                ledger=ledger,
+                window=window,
+                total=len(trace),
+                label=f"{workload}/{scheme}",
+                on_shard=on_shard,
+                should_stop=should_stop,
+            )
         if every <= 0:
             return simulate(trace, scheme_obj, machine=machine, **kwargs)
         store = store_for(

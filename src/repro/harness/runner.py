@@ -152,6 +152,11 @@ def _context_cache_cap() -> int:
 #: Cache hits and journal replays never fire it.
 ResultCallback = Callable[[str, str, RunResult], None]
 
+#: Per-shard progress callback for windowed (``REPRO_SHARD_WINDOW``)
+#: runs: ``(workload, scheme, shard, records_done, records_total)``,
+#: fired after each shard boundary commits to its ledger.
+ShardCallback = Callable[[str, str, int, int, int], None]
+
 
 def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
     """SIGKILL a broken/hung pool's workers before abandoning it.
@@ -466,12 +471,26 @@ class Runner:
 
     # -- running ------------------------------------------------------------
 
-    def _run(self, workload: str, scheme: str, *, allow_disk: bool) -> RunResult:
+    def _run(
+        self,
+        workload: str,
+        scheme: str,
+        *,
+        allow_disk: bool,
+        on_shard: Optional[ShardCallback] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> RunResult:
         """Run one pair, consulting the caches first.
 
         ``allow_disk=False`` skips the disk layer *and* rejects memory
         entries without a live scheme object (disk-loaded scalars), for
         callers that need scheme internals.
+
+        ``on_shard``/``should_stop`` apply only when sharded execution
+        is active (``REPRO_SHARD_WINDOW``, see
+        :mod:`repro.harness.shards`): per-boundary progress callbacks
+        (called as ``(workload, scheme, shard, done, total)``) and the
+        graceful-drain poll.  A cache hit never fires either.
         """
         cached = self._cached(workload, scheme, allow_disk=allow_disk)
         if cached is not None and (allow_disk or cached.scheme is not None):
@@ -483,13 +502,34 @@ class Runner:
             records=self.records,
             machine=self.machine,
             context=self.context_for(workload),
+            on_shard=(
+                None
+                if on_shard is None
+                else lambda shard, done, total: on_shard(
+                    workload, scheme, shard, done, total
+                )
+            ),
+            should_stop=should_stop,
         ).run
         self._admit(workload, scheme, result)
         return result
 
-    def run(self, workload: str, scheme: str) -> RunResult:
+    def run(
+        self,
+        workload: str,
+        scheme: str,
+        *,
+        on_shard: Optional[ShardCallback] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> RunResult:
         """Run (or fetch from cache) one workload/scheme pair."""
-        return self._run(workload, scheme, allow_disk=True)
+        return self._run(
+            workload,
+            scheme,
+            allow_disk=True,
+            on_shard=on_shard,
+            should_stop=should_stop,
+        )
 
     def run_live(self, workload: str, scheme: str) -> RunResult:
         """Run bypassing the disk cache (when scheme internals are needed)."""
@@ -564,6 +604,8 @@ class Runner:
         jobs: Optional[int] = None,
         resume: bool = False,
         on_result: Optional[ResultCallback] = None,
+        on_shard: Optional[ShardCallback] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> Dict[Tuple[str, str], RunResult]:
         """Run an explicit pair list; returns {(workload, scheme): result}.
 
@@ -608,6 +650,18 @@ class Runner:
         ``REPRO_CHECKPOINT_EVERY``, even a pair that died mid-run
         restarts from its last engine checkpoint.  This call's own
         journal is deleted when it completes.
+
+        With sharded execution on (``REPRO_SHARD_WINDOW``), the serial
+        path additionally honours ``on_shard`` (per-boundary progress,
+        ``(workload, scheme, shard, done, total)``) and ``should_stop``
+        (the graceful-drain poll: when it reports true at a boundary,
+        the sweep stops with
+        :class:`~repro.harness.shards.DrainRequested`, the pair's shard
+        ledger and this sweep's journal both persisted, so a
+        ``resume=True`` re-sweep continues from exactly there).  Pool
+        workers run in other processes, so the parallel path ignores
+        both hooks — shards there still ledger and resume via the
+        environment, they just don't report into this process.
         """
         pairs = list(pairs)
         if jobs is None:
@@ -653,7 +707,9 @@ class Runner:
             self._sweep_parallel(pending, jobs, journal, on_result)
         else:
             for workload, scheme in pending:
-                result = self.run(workload, scheme)
+                result = self.run(
+                    workload, scheme, on_shard=on_shard, should_stop=should_stop
+                )
                 journal.record(workload, scheme, result)
                 if on_result is not None:
                     on_result(workload, scheme, result)

@@ -130,6 +130,18 @@ class Admission:
             if future is not None and not future.done():
                 future.set_exception(exc)
 
+    def fail_all(self, exc: BaseException) -> None:
+        """Fail every in-flight pair (server shutdown).
+
+        The drain safety net: anything still unresolved when the drain
+        deadline expires gets the shutdown exception instead of a hung
+        connection.  Must be called from the event loop thread.
+        """
+        inflight, self._inflight = self._inflight, {}
+        for future in inflight.values():
+            if not future.done():
+                future.set_exception(exc)
+
     def abandon(self, runner: Runner, pairs: Iterable[Pair]) -> None:
         """Withdraw pairs admitted by a request the server then rejected.
 

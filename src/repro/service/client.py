@@ -13,17 +13,53 @@ one reader implementation::
 
 Errors come back as :class:`ServiceError` carrying the HTTP status and
 the server's ``error`` message (400 = request rejected by validation,
-503 = admission refused the cold work, 500 = the sweep itself failed).
+503 = admission refused the cold work *or* the server is draining for
+shutdown, 500 = the sweep itself failed).
+
+**Retries** (off by default): ``retries=N`` — or ``REPRO_CLIENT_RETRIES``
+when the parameter is left at None — makes every request survive up to
+``N`` transient failures: a refused/reset connection (server restarting)
+or a 503 (queue full, or draining for shutdown).  Attempts back off
+exponentially with *full jitter* — ``sleep ~ U(0, min(base * 2**k,
+RETRY_SLEEP_CAP))`` — the decorrelating shape that keeps a fleet of
+retrying clients from stampeding a server that just came back.  Any
+other error (400, 500, a timeout mid-response) is never retried: those
+are deterministic or already-partially-consumed failures.  The default
+stays 0 because several callers *assert* on immediate 503s (admission
+control is a feature, not a fault); ``bench_service.py`` and the drain
+tests opt in explicitly, which is how a sweep in flight survives a
+server restart mid-run.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import random
+import time
 from http.client import HTTPConnection, HTTPResponse
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 #: Cold sweeps simulate; give them room before declaring the server dead.
 DEFAULT_TIMEOUT = 600.0
+
+#: First-attempt backoff bound (seconds); attempt k waits
+#: ``U(0, min(RETRY_BASE * 2**k, RETRY_SLEEP_CAP))``.
+RETRY_BASE = 0.25
+
+#: Ceiling on any single retry sleep (seconds).
+RETRY_SLEEP_CAP = 5.0
+
+
+def _client_retries() -> int:
+    """Default retry budget (REPRO_CLIENT_RETRIES, 0 = off)."""
+    env = os.environ.get("REPRO_CLIENT_RETRIES", "").strip()
+    if not env:
+        return 0
+    retries = int(env)
+    if retries < 0:
+        raise ValueError(f"REPRO_CLIENT_RETRIES must be >= 0, got {retries}")
+    return retries
 
 
 class ServiceError(RuntimeError):
@@ -43,6 +79,22 @@ def _error_message(status: int, body: bytes) -> str:
         return body.decode(errors="replace")
 
 
+def _transient(exc: BaseException) -> bool:
+    """Is this failure worth retrying?
+
+    Connection-level failures (refused while the server restarts, reset
+    when it went down mid-handshake) and 503 (admission queue full, or
+    draining for shutdown — both mean "try again shortly").  Everything
+    else — 400 (the request is wrong), 500 (the sweep deterministically
+    failed), timeouts mid-body — stays fatal.
+    """
+    if isinstance(exc, ServiceError):
+        return exc.status == 503
+    return isinstance(exc, (ConnectionError, OSError)) and not isinstance(
+        exc, TimeoutError
+    )
+
+
 class ServiceClient:
     """One service endpoint; a fresh connection per request."""
 
@@ -51,14 +103,22 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 8437,
         timeout: float = DEFAULT_TIMEOUT,
+        retries: Optional[int] = None,
+        retry_base: float = RETRY_BASE,
+        _sleep=time.sleep,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = _client_retries() if retries is None else int(retries)
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        self.retry_base = retry_base
+        self._sleep = _sleep  # injectable for tests
 
     # -- plumbing -----------------------------------------------------------
 
-    def _open(
+    def _connect_once(
         self, method: str, path: str, payload: Optional[dict] = None
     ) -> Tuple[HTTPConnection, HTTPResponse]:
         conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
@@ -74,6 +134,30 @@ class ServiceClient:
             conn.close()
             raise ServiceError(response.status, message)
         return conn, response
+
+    def _open(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Tuple[HTTPConnection, HTTPResponse]:
+        """Open a request, retrying transient failures within budget.
+
+        Retrying wraps connection setup and the status line only: once
+        a 200 response is in hand the caller owns the stream, and a
+        failure mid-body is not replayed (the server may have done
+        work).  Requests are idempotent server-side — a replayed sweep
+        deduplicates against the admission table or resumes its shard
+        ledgers — so re-sending after an ambiguous connection failure
+        is safe.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._connect_once(method, path, payload)
+            except Exception as exc:
+                if attempt >= self.retries or not _transient(exc):
+                    raise
+                bound = min(self.retry_base * (2 ** attempt), RETRY_SLEEP_CAP)
+                self._sleep(random.uniform(0.0, bound))
+                attempt += 1
 
     def _request_json(
         self, method: str, path: str, payload: Optional[dict] = None
@@ -152,9 +236,12 @@ class ServiceClient:
         """Run a grid, yielding progress events as pairs complete.
 
         Yields ``{"event": "result", ...}`` objects in completion
-        order, then one ``{"event": "done", ...}``; an
-        ``{"event": "error", ...}`` object means the sweep failed after
-        the events already yielded.
+        order — interleaved with ``{"event": "shard", ...}`` progress
+        lines when the server runs sharded — then one
+        ``{"event": "done", ...}``; an ``{"event": "error", ...}``
+        object means the sweep failed after the events already yielded
+        (``"draining": true`` marks a server shutting down gracefully:
+        retry after its restart and it resumes from the shard ledger).
         """
         conn, response = self._open(
             "POST",

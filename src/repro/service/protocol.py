@@ -27,7 +27,18 @@ completion order so clients see cold-pair progress as it happens::
     {"event": "done", "pairs": 4, "stats": {...}}
 
 (an ``{"event": "error", "error": "..."}`` line terminates a stream
-that failed mid-flight).  The scalar fields are exactly the runner's
+that failed mid-flight).  With sharded execution active on the server
+(``REPRO_SHARD_WINDOW``), streams additionally carry one progress line
+per completed shard window of each admitted pair::
+
+    {"event": "shard", "workload": "x264", "scheme": "lru",
+     "shard": 3, "records_done": 60000, "records_total": 100000}
+
+A server that is *draining* (SIGTERM received; in-flight shards running
+to their next ledgered boundary) refuses every new ``/sweep`` with 503
+— clients retry against the restarted server, which resumes from the
+persisted shard ledgers (see :mod:`repro.harness.shards`).  The scalar
+fields are exactly the runner's
 disk-cache schema (:data:`repro.harness.runner._SCALAR_FIELDS`), so a
 served result is bit-identical to what ``Runner.sweep`` returns.
 
@@ -200,6 +211,24 @@ def result_event(
         "scheme": scheme,
         "source": source,
         "scalars": scalars_of(result),
+    }
+
+
+def shard_event(
+    workload: str,
+    scheme: str,
+    shard: int,
+    records_done: int,
+    records_total: int,
+) -> Dict[str, object]:
+    """One streamed progress line for a completed shard window."""
+    return {
+        "event": "shard",
+        "workload": workload,
+        "scheme": scheme,
+        "shard": shard,
+        "records_done": records_done,
+        "records_total": records_total,
     }
 
 

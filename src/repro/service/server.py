@@ -25,6 +25,14 @@ one connection per request, ``Connection: close``).  Streaming
 responses use chunked transfer encoding, one JSON line per completed
 pair, so clients watch cold grids fill in pair by pair.
 
+Shutdown is graceful: SIGTERM/SIGINT (foreground :func:`serve`) or
+``ServiceThread.stop()`` flip the service into *draining* — new
+``/sweep`` requests get 503, in-flight sharded sweeps
+(``REPRO_SHARD_WINDOW``) stop at their next window boundary with the
+warm state fsync'd in the shard ledger (:mod:`repro.harness.shards`),
+and the process exits cleanly; a restarted server resumes the drained
+work from the ledgers.
+
 :class:`ServiceThread` hosts a service on a background thread for
 tests, benches and :mod:`scripts.bench_service`;
 ``scripts/serve_sweeps.py`` is the foreground entrypoint.
@@ -35,6 +43,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import signal
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from threading import Event as ThreadEvent, Thread
@@ -43,6 +52,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.harness.experiment import scaled_records
 from repro.harness.runner import Runner
 from repro.harness.schemes import available_schemes
+from repro.harness.shards import DrainRequested
 from repro.service.admission import Admission, Pair
 from repro.service.protocol import (
     MAX_BODY_BYTES,
@@ -52,6 +62,7 @@ from repro.service.protocol import (
     parse_sweep_request,
     result_event,
     scalars_of,
+    shard_event,
 )
 from repro.uarch.params import MachineParams
 from repro.uarch.timing import RunResult
@@ -126,6 +137,12 @@ class SweepService:
         )
         #: Cold sweeps scheduled and not yet finished (the 503 gate).
         self._cold_sweeps = 0
+        #: Graceful-shutdown flag: set by :meth:`begin_drain`; every new
+        #: ``/sweep`` is then refused with 503, and in-flight sharded
+        #: sweeps observe it via their ``should_stop`` poll and stop at
+        #: the next ledgered window boundary.  Written only on the event
+        #: loop thread; read (as a plain bool) from sim-pool threads.
+        self.draining = False
         #: One Runner per distinct (records, prefetcher, machine)
         #: configuration, shared across requests so the in-memory
         #: result cache and the context LRU are server-wide.  Only the
@@ -134,6 +151,35 @@ class SweepService:
 
     def close(self) -> None:
         self._sim_pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- graceful drain -----------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop admitting; let in-flight work run to a safe stopping point."""
+        self.draining = True
+
+    async def shutdown(self, drain_timeout: float = 30.0) -> None:
+        """Drain and close: the SIGTERM path.
+
+        Sets :attr:`draining` (new ``/sweep`` requests 503 from then
+        on), then waits up to ``drain_timeout`` seconds for in-flight
+        sweeps to finish — sharded sweeps stop early at their next
+        window boundary with the boundary already fsync'd in the shard
+        ledger, so a restarted server resumes from exactly there.
+        Whatever is still unresolved at the deadline is failed rather
+        than left hanging, and the sim pool is shut down.  The caller
+        keeps serving (and 503ing) while this runs; it closes the
+        listener afterwards.
+        """
+        self.begin_drain()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + drain_timeout
+        while self._cold_sweeps > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.05)
+        self.admission.fail_all(
+            DrainRequested("service-shutdown", 0, 0)
+        )
+        self.close()
 
     # -- runner pool --------------------------------------------------------
 
@@ -151,7 +197,12 @@ class SweepService:
 
     # -- simulation ---------------------------------------------------------
 
-    async def _simulate(self, runner: Runner, admitted: List[Pair]) -> None:
+    async def _simulate(
+        self,
+        runner: Runner,
+        admitted: List[Pair],
+        events: Optional["asyncio.Queue"] = None,
+    ) -> None:
         """Queue one request's admitted pairs through ``sweep_pairs``.
 
         Runs in a sim-pool thread behind the concurrency semaphore.
@@ -160,6 +211,15 @@ class SweepService:
         from a cache layer instead of ``on_result`` are resolved from
         the returned map, and a crashed sweep fails every still-pending
         future so joined requests get an error, not a hung connection.
+
+        ``events`` (streaming requests) receives one
+        :func:`~repro.service.protocol.shard_event` per completed shard
+        window when sharded execution is active.  The sweep polls
+        :attr:`draining` at every shard boundary: a drain stops it with
+        :class:`~repro.harness.shards.DrainRequested` — boundary state
+        already fsync'd in the shard ledger, so the restarted server
+        resumes there — which fails the pending futures *without*
+        counting as a service error.
         """
         loop = asyncio.get_running_loop()
 
@@ -168,16 +228,31 @@ class SweepService:
                 self.admission.resolve, runner, workload, scheme, result
             )
 
+        def on_shard(
+            workload: str, scheme: str, shard: int, done: int, total: int
+        ) -> None:
+            if events is not None:
+                loop.call_soon_threadsafe(
+                    events.put_nowait,
+                    shard_event(workload, scheme, shard, done, total),
+                )
+
         try:
             async with self._sim_slots:
                 results = await loop.run_in_executor(
                     self._sim_pool,
                     lambda: runner.sweep_pairs(
-                        admitted, jobs=self.config.jobs, on_result=on_result
+                        admitted,
+                        jobs=self.config.jobs,
+                        on_result=on_result,
+                        on_shard=on_shard,
+                        should_stop=lambda: self.draining,
                     ),
                 )
             for pair in admitted:
                 self.admission.resolve(runner, *pair, results[pair])
+        except DrainRequested as exc:
+            self.admission.fail(runner, admitted, exc)
         except Exception as exc:
             self.admission.stats.errors += 1
             self.admission.fail(runner, admitted, exc)
@@ -261,7 +336,8 @@ class SweepService:
                 writer,
                 200,
                 {
-                    "status": "ok",
+                    "status": "draining" if self.draining else "ok",
+                    "draining": self.draining,
                     "stats": self.admission.stats.snapshot(),
                     "in_flight_pairs": self.admission.in_flight(),
                     "cold_sweeps": self._cold_sweeps,
@@ -283,6 +359,16 @@ class SweepService:
         except ProtocolError as exc:
             self.admission.stats.errors += 1
             await self._respond_json(writer, 400, {"error": str(exc)})
+            return
+        if self.draining:
+            # Graceful shutdown in progress: even warm requests are
+            # refused, because the listener may close at any moment.
+            self.admission.stats.rejected += 1
+            await self._respond_json(
+                writer,
+                503,
+                {"error": "server draining for shutdown; retry later"},
+            )
             return
         records = (
             request.records or self.config.records or scaled_records(None)
@@ -311,9 +397,16 @@ class SweepService:
             )
             return
         self.admission.stats.requests += 1
+        # Streaming requests that admit cold work get a per-request
+        # event queue: the sweep posts one shard_event per completed
+        # window boundary (sharded execution only) and the stream
+        # multiplexes them between result lines.
+        events: Optional["asyncio.Queue"] = (
+            asyncio.Queue() if request.stream and admitted else None
+        )
         if admitted:
             self._cold_sweeps += 1
-            asyncio.ensure_future(self._simulate(runner, admitted))
+            asyncio.ensure_future(self._simulate(runner, admitted, events))
         admitted_set = set(admitted)
         sources = {pair: "warm" for pair in warm}
         for pair in joined:
@@ -321,7 +414,7 @@ class SweepService:
                 "simulated" if pair in admitted_set else "inflight"
             )
         if request.stream:
-            await self._respond_stream(writer, warm, joined, sources)
+            await self._respond_stream(writer, warm, joined, sources, events)
         else:
             await self._respond_bulk(writer, warm, joined, sources)
 
@@ -339,6 +432,14 @@ class SweepService:
         try:
             for pair, future in joined.items():
                 results[pair_token(*pair)] = scalars_of(await future)
+        except DrainRequested as exc:
+            # Not a failure: the server is shutting down with this
+            # request's progress ledgered.  503 tells the client to
+            # retry against the restarted server, which resumes.
+            await self._respond_json(
+                writer, 503, {"error": f"server draining: {exc}"}
+            )
+            return
         except Exception as exc:
             await self._respond_json(
                 writer, 500, {"error": f"sweep failed: {exc}"}
@@ -363,6 +464,7 @@ class SweepService:
         warm: Dict[Pair, RunResult],
         joined: Dict[Pair, "asyncio.Future[RunResult]"],
         sources: Dict[Pair, str],
+        events: Optional["asyncio.Queue"] = None,
     ) -> None:
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
@@ -383,11 +485,25 @@ class SweepService:
             asyncio.ensure_future(labelled(pair)): pair for pair in joined
         }
         pending = set(tasks)
+        # One extra competitor in the wait set: the next shard progress
+        # event.  Re-armed after each arrival, cancelled once every
+        # pair future has settled (late events are flushed below).
+        event_task: Optional["asyncio.Task"] = (
+            asyncio.ensure_future(events.get()) if events is not None else None
+        )
         failure: Optional[BaseException] = None
         while pending:
-            done, pending = await asyncio.wait(
-                pending, return_when=asyncio.FIRST_COMPLETED
+            waiting = pending | ({event_task} if event_task is not None else set())
+            done, _ = await asyncio.wait(
+                waiting, return_when=asyncio.FIRST_COMPLETED
             )
+            if event_task is not None and event_task in done:
+                done.discard(event_task)
+                await self._write_chunk(
+                    writer, encode_jsonl(event_task.result())
+                )
+                event_task = asyncio.ensure_future(events.get())
+            pending -= done
             for task in done:  # drain everything: no abandoned futures
                 pair = tasks[task]
                 try:
@@ -401,11 +517,28 @@ class SweepService:
                             result_event(*pair, sources[pair], result)
                         ),
                     )
+        if event_task is not None:
+            event_task.cancel()
+            # Flush shard events that landed after the last pair future
+            # settled, so a drained stream still shows its final
+            # ledgered boundary before the error line.
+            while events is not None and not events.empty():
+                await self._write_chunk(
+                    writer, encode_jsonl(events.get_nowait())
+                )
         if failure is not None:
             await self._write_chunk(
                 writer,
                 encode_jsonl(
-                    {"event": "error", "error": f"sweep failed: {failure}"}
+                    {
+                        "event": "error",
+                        "error": (
+                            f"server draining: {failure}"
+                            if isinstance(failure, DrainRequested)
+                            else f"sweep failed: {failure}"
+                        ),
+                        "draining": isinstance(failure, DrainRequested),
+                    }
                 ),
             )
         else:
@@ -446,16 +579,62 @@ async def serve(
     config: Optional[ServiceConfig] = None,
     host: str = "127.0.0.1",
     port: int = 0,
+    drain_timeout: float = 30.0,
 ) -> None:
-    """Run a service in the current event loop until cancelled."""
+    """Run a service in the current event loop until stopped.
+
+    Installs SIGTERM/SIGINT handlers (where the platform supports
+    them): the first signal starts a *graceful drain* — new ``/sweep``
+    requests are refused with 503 while in-flight sweeps run to their
+    next shard boundary (state fsync'd in the shard ledger), then the
+    listener closes and this coroutine returns normally, so the hosting
+    process exits 0.  A restarted server resumes the drained work from
+    the ledgers.  Platforms without ``add_signal_handler`` fall back to
+    serve-until-cancelled (the pre-drain behaviour).
+    """
     service = SweepService(config)
     server = await asyncio.start_server(service.handle, host, port)
     bound = server.sockets[0].getsockname()
-    print(f"sweep service listening on http://{bound[0]}:{bound[1]}")
+    print(
+        f"sweep service listening on http://{bound[0]}:{bound[1]}", flush=True
+    )
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    handled = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            handled.append(sig)
+        except (NotImplementedError, RuntimeError):
+            pass  # e.g. non-main thread or unsupported platform
     try:
         async with server:
-            await server.serve_forever()
+            if not handled:
+                await server.serve_forever()
+                return
+            forever = asyncio.ensure_future(server.serve_forever())
+            stopped = asyncio.ensure_future(stop.wait())
+            try:
+                await asyncio.wait(
+                    {forever, stopped}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if stopped.done():
+                    print(
+                        "sweep service draining "
+                        f"({service._cold_sweeps} sweeps in flight)...",
+                        flush=True,
+                    )
+                    # Keep serving while the drain runs: requests still
+                    # get answers (503 for new sweeps) until the last
+                    # in-flight sweep parks at a ledgered boundary.
+                    await service.shutdown(drain_timeout)
+                    print("sweep service drained; exiting", flush=True)
+            finally:
+                for task in (forever, stopped):
+                    task.cancel()
     finally:
+        for sig in handled:
+            loop.remove_signal_handler(sig)
         service.close()
 
 
@@ -472,6 +651,13 @@ class ServiceThread:
     ``port`` is the ephemeral port actually bound (the constructor's
     ``port=0`` default asks the OS for a free one, so parallel test
     runs never collide).
+
+    ``stop()`` performs the same graceful drain as a SIGTERM'd
+    foreground server: in-flight sweeps run to their next shard
+    boundary (ledgered, resumable) instead of being dropped on the
+    floor — the bug this replaced was a stop that closed the sim pool
+    under a live sweep.  ``begin_drain()`` flips the 503 gate without
+    stopping, for tests that drive the drain window explicitly.
     """
 
     def __init__(
@@ -479,10 +665,12 @@ class ServiceThread:
         config: Optional[ServiceConfig] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        drain_timeout: float = 30.0,
     ) -> None:
         self._config = config
         self._host = host
         self._port = port
+        self._drain_timeout = drain_timeout
         self.port: Optional[int] = None
         self.service: Optional[SweepService] = None
         self._ready = ThreadEvent()
@@ -500,10 +688,15 @@ class ServiceThread:
             raise RuntimeError("sweep service failed to start") from self._failure
         return self
 
+    def begin_drain(self) -> None:
+        """Flip the service into draining (503 new sweeps) without stopping."""
+        if self._loop is not None and self.service is not None:
+            self._loop.call_soon_threadsafe(self.service.begin_drain)
+
     def stop(self) -> None:
         if self._loop is not None and self._stop is not None:
             self._loop.call_soon_threadsafe(self._stop.set)
-        self._thread.join(timeout=30)
+        self._thread.join(timeout=30 + self._drain_timeout)
 
     def __enter__(self) -> "ServiceThread":
         return self.start()
@@ -531,5 +724,9 @@ class ServiceThread:
         try:
             async with server:
                 await self._stop.wait()
+                # Drain before the listener closes: in-flight sweeps
+                # park at their next ledgered shard boundary (or finish)
+                # instead of dying with the thread.
+                await self.service.shutdown(self._drain_timeout)
         finally:
             self.service.close()

@@ -353,3 +353,142 @@ class TestRunExperimentWindowed:
         resumed = run_experiment(WORKLOAD, "lru", records=RECORDS)
         assert _scalars(resumed.run) == _scalars(plain.run)
         assert not store.path.exists()
+
+
+class TestCadenceEdgeCases:
+    """Checkpoint cadence boundary conditions, live and planned.
+
+    The cadence grid the engine promises: a cadence that never lands
+    inside the trace must not fire (and must not perturb the run), a
+    cadence that lands *exactly* on the warmup boundary must re-derive
+    the warm-baseline counters identically on resume, and the awkward
+    cadences (1, non-divisor, last-record) must stitch bit-identical on
+    the live path exactly as ``TestEngineChunking`` pins for planned.
+    """
+
+    def _live_kwargs(self, trace):
+        stack = BranchStack(trace)
+        return dict(
+            stack=stack,
+            prefetcher=FetchDirectedPrefetcher(
+                trace, stack, depth=DEFAULT_MACHINE.ftq_depth_records
+            ),
+        )
+
+    def _planned_kwargs(self, trace):
+        return dict(plan=cached_plan(trace, DEFAULT_MACHINE, "fdp"))
+
+    @pytest.mark.parametrize("mode", ("planned", "live"))
+    def test_cadence_larger_than_trace_never_fires(self, mode, trace, context):
+        make_kwargs = getattr(self, f"_{mode}_kwargs")
+        single = simulate(
+            trace,
+            make_scheme("lru", context),
+            machine=DEFAULT_MACHINE,
+            **make_kwargs(trace),
+        )
+
+        def must_not_fire(state):
+            raise AssertionError(
+                f"cadence beyond the trace fired at {state['next_record']}"
+            )
+
+        run = simulate(
+            trace,
+            make_scheme("lru", context),
+            machine=DEFAULT_MACHINE,
+            checkpoint_every=len(trace) * 2,
+            on_checkpoint=must_not_fire,
+            **make_kwargs(trace),
+        )
+        assert run is not None
+        assert _scalars(run) == _scalars(single)
+
+    @pytest.mark.parametrize("mode", ("planned", "live"))
+    @pytest.mark.parametrize("name", ("lru", "acic"))
+    def test_checkpoint_exactly_on_warmup_boundary(
+        self, mode, name, trace, context
+    ):
+        """Stop at the warmup/measure seam and resume across it.
+
+        ``every == warmup_end`` makes the very first capture land on
+        the record where warm-baseline counters are snapshotted — the
+        resumed half must re-derive them, not re-measure warmup.
+        """
+        warmup_end = int(len(trace) * DEFAULT_MACHINE.warmup_fraction)
+        assert warmup_end > 0
+        make_kwargs = getattr(self, f"_{mode}_kwargs")
+        single = simulate(
+            trace,
+            make_scheme(name, context),
+            machine=DEFAULT_MACHINE,
+            **make_kwargs(trace),
+        )
+        captured = []
+        halted = simulate(
+            trace,
+            make_scheme(name, context),
+            machine=DEFAULT_MACHINE,
+            checkpoint_every=warmup_end,
+            on_checkpoint=lambda s: captured.append(s) or True,
+            **make_kwargs(trace),
+        )
+        assert halted is None
+        assert captured[0]["next_record"] == warmup_end
+        state = pickle.loads(pickle.dumps(captured[0]))
+        run = simulate(
+            trace,
+            make_scheme(name, context),
+            machine=DEFAULT_MACHINE,
+            resume=state,
+            **make_kwargs(trace),
+        )
+        assert _scalars(run) == _scalars(single)
+
+    @pytest.mark.parametrize("every", (1, 1_999, RECORDS - 1))
+    def test_live_awkward_cadences(self, every, trace, context):
+        """The live-path mirror of the planned awkward-cadence grid."""
+        single = simulate(
+            trace,
+            make_scheme("lru", context),
+            machine=DEFAULT_MACHINE,
+            **self._live_kwargs(trace),
+        )
+        target = {"remaining": 2}
+
+        def stop_midway(s):
+            target["remaining"] -= 1
+            if target["remaining"] == 0:
+                target["state"] = s
+                return True
+            return False
+
+        run = simulate(
+            trace,
+            make_scheme("lru", context),
+            machine=DEFAULT_MACHINE,
+            checkpoint_every=every,
+            on_checkpoint=stop_midway,
+            **self._live_kwargs(trace),
+        )
+        if run is None:
+            state = pickle.loads(pickle.dumps(target["state"]))
+            run = simulate(
+                trace,
+                make_scheme("lru", context),
+                machine=DEFAULT_MACHINE,
+                resume=state,
+                **self._live_kwargs(trace),
+            )
+        assert _scalars(run) == _scalars(single)
+
+    def test_run_experiment_cadence_of_one(self, monkeypatch, tmp_path):
+        """``REPRO_CHECKPOINT_EVERY=1``: a store write at every record."""
+        records = 500
+        monkeypatch.delenv("REPRO_CHECKPOINT_EVERY", raising=False)
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        plain = run_experiment(WORKLOAD, "lru", records=records)
+        monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "1")
+        windowed = run_experiment(WORKLOAD, "lru", records=records)
+        assert _scalars(windowed.run) == _scalars(plain.run)
+        assert not list((tmp_path / "checkpoints").glob("*.ckpt"))
