@@ -69,6 +69,11 @@ DEFAULT_PYTEST_ARGS = [
     "tests/test_sweep_bugs.py",
     "tests/test_shards.py",
     "tests/test_service_drain.py",
+    "tests/test_workloads.py",
+    "tests/test_trace_sidecar.py",
+    "tests/test_generator_properties.py",
+    "tests/test_search_strategies.py",
+    "tests/test_search_harness.py",
     # Sigterm excluded: the subprocess server's coverage is invisible
     # to the in-process tracer and the spawn costs the gate seconds.
     "-k", "not 20k and not Simulate and not conservation and not Sigterm"
@@ -83,6 +88,7 @@ DEFAULT_TARGETS = [
     "src/repro/frontend",
     "src/repro/harness",
     "src/repro/service",
+    "src/repro/workloads",
 ]
 
 

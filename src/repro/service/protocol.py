@@ -59,7 +59,7 @@ from repro.harness.runner import _SCALAR_FIELDS
 from repro.harness.schemes import available_schemes
 from repro.uarch.params import DEFAULT_MACHINE, MachineParams
 from repro.uarch.timing import RunResult
-from repro.workloads.profiles import ALL_WORKLOADS
+from repro.workloads.profiles import known_workload_names
 
 #: Maximum request body the server will read (64 KiB is ~3000 pairs —
 #: far beyond any sane grid; anything larger is rejected up front).
@@ -158,7 +158,10 @@ def parse_sweep_request(raw: bytes) -> SweepRequest:
             f"known: {sorted(_ALLOWED_KEYS)}"
         )
 
-    workloads = _names(payload, "workloads", ALL_WORKLOADS, "workload")
+    # known_workload_names() includes the committed search discoveries
+    # (profiles/found/), so clients can sweep them like any calibrated
+    # workload.
+    workloads = _names(payload, "workloads", known_workload_names(), "workload")
     schemes = _names(payload, "schemes", available_schemes(), "scheme")
 
     records = payload.get("records")

@@ -66,7 +66,7 @@ from repro.service.protocol import (
 )
 from repro.uarch.params import MachineParams
 from repro.uarch.timing import RunResult
-from repro.workloads.profiles import ALL_WORKLOADS
+from repro.workloads.profiles import known_workload_names
 
 _REASONS = {
     200: "OK",
@@ -347,7 +347,7 @@ class SweepService:
         elif path == "/schemes" and method == "GET":
             await self._respond_json(writer, 200, available_schemes())
         elif path == "/workloads" and method == "GET":
-            await self._respond_json(writer, 200, sorted(ALL_WORKLOADS))
+            await self._respond_json(writer, 200, list(known_workload_names()))
         else:
             raise _HttpError(404, f"unknown endpoint {method} {path}")
 

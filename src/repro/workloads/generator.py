@@ -56,10 +56,19 @@ _PHASE_SITE_BASE = 1 << 30
 #: Site-id namespace for early-exit conditionals, one per block.
 _EXIT_SITE_BASE = 1 << 34
 
+#: The single interpreter-style dispatch-loop site: one static indirect
+#: branch fanning out over the whole hot-function pool (BTB-hostile,
+#: the bytecode-interpreter / virtual-call pattern of managed runtimes).
+_INTERP_SITE = 1 << 35
+
 
 def _exit_site(block: int) -> int:
     """Static site id of a block's early-exit conditional branch."""
     return _EXIT_SITE_BASE | block
+
+
+class _WalkBudgetExhausted(Exception):
+    """Internal: the walk hit its hard emission cutoff mid-request."""
 
 
 @dataclass(frozen=True)
@@ -78,6 +87,14 @@ class WalkParams:
     exec_noise: float = 0.08
     max_call_depth: int = 24
     max_loop_iters: int = 64
+    #: Interpreter-dispatch-like indirect fan-out: after each phase this
+    #: many hot functions run, each entered through the *single* global
+    #: ``_INTERP_SITE`` indirect branch (one site, many targets).
+    dispatch_fanout: int = 0
+    #: RPC-style cross-group interleaving: per phase, probability that
+    #: the request instead executes a handler of a *different* group
+    #: (a cross-service call touching that service's code mid-request).
+    rpc_interleave_prob: float = 0.0
 
     def __post_init__(self) -> None:
         if self.target_records <= 0:
@@ -96,6 +113,10 @@ class WalkParams:
             raise ValueError("block execution-length probabilities exceed 1")
         if not 0.0 <= self.exec_noise <= 1.0:
             raise ValueError("exec_noise must be a probability")
+        if self.dispatch_fanout < 0:
+            raise ValueError("dispatch_fanout must be non-negative")
+        if not 0.0 <= self.rpc_interleave_prob <= 1.0:
+            raise ValueError("rpc_interleave_prob must be a probability")
 
 
 class _Walker:
@@ -118,10 +139,21 @@ class _Walker:
         # a random stride, so each one recurs only after the whole pool
         # cycles (very long reuse distances).
         self._cold_cursor = 0
+        # Hard emission cutoff.  The record budget is otherwise checked
+        # only between requests, and an adversarial parameter point (the
+        # workload search explores deep call chains whose loops re-issue
+        # calls every iteration) can make a *single* request emit
+        # combinatorially many records.  The slack sits far above the
+        # worst between-request overshoot any calibrated profile shows
+        # (~4.6k records), so their walks never trip it and their cached
+        # traces stay bit-identical.
+        self._limit = params.target_records + max(16384, params.target_records)
 
     # -- emission -------------------------------------------------------------
 
     def _emit(self, block: int, n_instrs: int) -> None:
+        if len(self.blocks) >= self._limit:
+            raise _WalkBudgetExhausted
         self.blocks.append(block)
         self.instrs.append(n_instrs)
         self.kinds.append(self._pending_kind)
@@ -261,6 +293,15 @@ class _Walker:
     # -- top level --------------------------------------------------------------
 
     def run(self) -> None:
+        try:
+            self._run()
+        except _WalkBudgetExhausted:
+            # A pathological parameter point blew the per-request
+            # budget; the trace already holds >= target_records records
+            # and is simply truncated mid-request.
+            pass
+
+    def _run(self) -> None:
         program = self.program
         params = self.params
         rng = self.rng
@@ -283,15 +324,48 @@ class _Walker:
             phase_site = _PHASE_SITE_BASE + group.gid
             cold_ids = program.cold_ids
             for _ in range(rng.randint(lo_phases, hi_phases)):
-                self._branch_to(BranchKind.INDIRECT, phase_site)
-                if cold_ids and rng.random() < params.cold_phase_prob:
+                # Every structural extension below guards on its knob
+                # *before* touching the RNG, so walks with the default
+                # knob values replay the exact pre-extension RNG stream
+                # (existing cached traces stay bit-identical).
+                if (
+                    params.rpc_interleave_prob > 0
+                    and n_groups > 1
+                    and rng.random() < params.rpc_interleave_prob
+                ):
+                    # RPC-style cross-group interleave: the request
+                    # calls out to another service's handler pool, so
+                    # that group's code interleaves with this group's
+                    # working set mid-request.
+                    offset = rng.randrange(n_groups - 1)
+                    other = program.groups[
+                        (current_group + 1 + offset) % n_groups
+                    ]
+                    self._branch_to(
+                        BranchKind.INDIRECT, _PHASE_SITE_BASE + other.gid
+                    )
+                    self._walk_function(self._pick_member(other.members), depth=0)
+                elif cold_ids and rng.random() < params.cold_phase_prob:
+                    self._branch_to(BranchKind.INDIRECT, phase_site)
                     self._cold_cursor = (
                         self._cold_cursor + 1 + rng.randrange(3)
                     ) % len(cold_ids)
                     self._walk_function(cold_ids[self._cold_cursor], depth=0)
                 else:
+                    self._branch_to(BranchKind.INDIRECT, phase_site)
                     member = self._pick_member(group.members)
                     self._walk_function(member, depth=0)
+                if params.dispatch_fanout > 0 and program.hot_ids:
+                    # Interpreter-dispatch fan-out: a run of hot
+                    # helpers, each reached through the one global
+                    # dispatch-loop indirect (single site, many
+                    # targets — the BTB-hostile managed-runtime shape).
+                    for _ in range(params.dispatch_fanout):
+                        self._branch_to(BranchKind.INDIRECT, _INTERP_SITE)
+                        hot = program.hot_ids[
+                            int((rng.random() ** 1.5) * len(program.hot_ids))
+                        ]
+                        self._walk_function(hot, depth=0)
 
 
 def generate_trace(

@@ -288,11 +288,72 @@ ALL_WORKLOADS: Dict[str, WorkloadProfile] = {
     **SPEC_WORKLOADS,
 }
 
+# -- dynamic and search-found workloads ---------------------------------------
+#
+# Beyond the hand-calibrated tables above, two more sources resolve
+# through get_workload:
+#
+# * *registered* profiles — in-process candidates the workload search
+#   scores through the ordinary Runner machinery (their fingerprinted
+#   names key the caches);
+# * *found* profiles — the committed scenario registry under
+#   ``profiles/found/`` (REPRO_FOUND_PROFILES): every search discovery
+#   is a permanent, first-class tracked workload, loadable in any
+#   process (sweep workers included) without prior registration.
+
+_REGISTERED_WORKLOADS: Dict[str, WorkloadProfile] = {}
+
+_found_workloads: Optional[Dict[str, WorkloadProfile]] = None
+
+
+def register_workload(profile: WorkloadProfile) -> WorkloadProfile:
+    """Register an in-process profile (search candidates, ad-hoc runs).
+
+    The calibrated table names are reserved — shadowing ``tpcc`` with a
+    different shape would poison every cache keyed by workload name.
+    Re-registering the same name is allowed (idempotent by design: the
+    search re-registers candidates on journal replay).
+    """
+    if profile.name in ALL_WORKLOADS:
+        raise ValueError(
+            f"cannot register {profile.name!r}: shadows a calibrated profile"
+        )
+    _REGISTERED_WORKLOADS[profile.name] = profile
+    return profile
+
+
+def found_workloads() -> Dict[str, WorkloadProfile]:
+    """The committed scenario registry, loaded once per process."""
+    global _found_workloads
+    if _found_workloads is None:
+        from repro.workloads.search.registry import load_found_profiles
+
+        _found_workloads = load_found_profiles()
+    return _found_workloads
+
+
+def reload_found_workloads() -> Dict[str, WorkloadProfile]:
+    """Drop the found-profile cache (tests repoint REPRO_FOUND_PROFILES)."""
+    global _found_workloads
+    _found_workloads = None
+    return found_workloads()
+
+
+def known_workload_names() -> tuple:
+    """Every resolvable workload name (calibrated + registered + found)."""
+    return tuple(
+        sorted({**ALL_WORKLOADS, **_REGISTERED_WORKLOADS, **found_workloads()})
+    )
+
 
 def get_workload(name: str) -> WorkloadProfile:
     """Look up a profile by name with a helpful error."""
-    try:
-        return ALL_WORKLOADS[name]
-    except KeyError:
-        known = ", ".join(sorted(ALL_WORKLOADS))
+    profile = (
+        ALL_WORKLOADS.get(name)
+        or _REGISTERED_WORKLOADS.get(name)
+        or found_workloads().get(name)
+    )
+    if profile is None:
+        known = ", ".join(known_workload_names())
         raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+    return profile

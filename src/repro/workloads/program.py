@@ -113,6 +113,7 @@ class ProgramShape:
     call_prob: float = 0.25
     hot_call_bias: float = 0.5
     shared_call_bias: float = 0.2
+    chain_call_prob: float = 0.0
     hot_zipf: float = 2.0
     loop_prob: float = 0.08
     intra_block_loop_prob: float = 0.05
@@ -136,6 +137,8 @@ class ProgramShape:
                 raise ValueError(f"bad size range ({lo}, {hi})")
         if self.cold_functions < 0:
             raise ValueError("cold_functions must be non-negative")
+        if not 0.0 <= self.chain_call_prob <= 1.0:
+            raise ValueError("chain_call_prob must be a probability")
 
 
 def build_program(shape: ProgramShape, seed: int = 0) -> SyntheticProgram:
@@ -193,6 +196,27 @@ def build_program(shape: ProgramShape, seed: int = 0) -> SyntheticProgram:
             _attach_calls(
                 functions[fid], shape, rng, deeper, hot_ids, shared_ids
             )
+        # Deep call chains (datacenter structure ACIC exploits): each
+        # member gains a guaranteed call site to the *next* member with
+        # probability ``chain_call_prob``, so a request can descend the
+        # whole handler pool as one nested call chain instead of the
+        # shallow random DAG ``_attach_calls`` produces.  The guard
+        # short-circuits before touching the RNG, so shapes with the
+        # default 0.0 build bit-identical programs to older versions.
+        if shape.chain_call_prob > 0:
+            for index, fid in enumerate(members[:-1]):
+                if rng.random() >= shape.chain_call_prob:
+                    continue
+                f = functions[fid]
+                for pos in range(f.n_blocks - 1):
+                    if pos not in f.ops:
+                        f.ops[pos] = Op(
+                            kind=OP_CALL,
+                            span=0,
+                            site=_fresh_site(f, rng),
+                            callee=members[index + 1],
+                        )
+                        break
         groups.append(
             RequestGroup(
                 gid=gid, roots=members[: shape.roots_per_group], members=members

@@ -1,0 +1,240 @@
+"""The search driver behind ``scripts/search_workloads.py``.
+
+One search run is a pure function of (space, seed, budget, records):
+sample *i* of the deterministic sequence is drawn from its own
+``(seed, i)``-derived RNG, each sample is scored through the caching
+Runner (three pairs — lru/acic/opt — keyed by the spec's fingerprinted
+workload name), and every score is journalled to an fsync'd JSON-lines
+file.  Kill the process at any point and a re-run with the same
+arguments replays the journal instead of re-simulating; a re-run with
+a *larger* budget extends the same sequence.
+
+Winners (share of OPT's reduction recovered by ACIC at or above
+``min_share``) are shrunk to minimal reproducing specs and optionally
+persisted into the scenario registry, ratcheting the best-found share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.harness.runner import Runner
+from repro.harness.scoring import ScoreCard, score_profile
+from repro.workloads.search.journal import SearchJournal, default_journal_path
+from repro.workloads.search.registry import (
+    read_ratchet,
+    save_found_profile,
+    write_ratchet,
+)
+from repro.workloads.search.shrink import shrink_spec
+from repro.workloads.search.strategies import FIG11_SPACE, ProfileSpec, get_space
+
+
+@dataclass
+class SearchConfig:
+    """Arguments of one search run (mirrors the CLI)."""
+
+    budget: int = 24
+    seed: int = 0
+    records: int = 20_000
+    space: str = FIG11_SPACE.name
+    prefetcher: str = "fdp"
+    #: A sample is a *winner* when ACIC recovers at least this share of
+    #: OPT's MPKI reduction on its trace; winners get shrunk.  The
+    #: shrink predicate re-uses the same bar, so a shrunk profile still
+    #: reproduces the score direction that made its ancestor a winner.
+    min_share: float = 0.10
+    shrink: bool = True
+    shrink_evaluations: int = 120
+    top: int = 3
+    save: bool = False
+    update_ratchet: bool = False
+    journal_path: Optional[Path] = None
+
+    def resolved_journal_path(self) -> Path:
+        if self.journal_path is not None:
+            return Path(self.journal_path)
+        return default_journal_path(self.space, self.seed, self.records)
+
+
+@dataclass
+class ShrinkRecord:
+    """One winner's shrink outcome."""
+
+    original: ProfileSpec
+    original_card: ScoreCard
+    spec: ProfileSpec
+    card: ScoreCard
+    steps: int
+    evaluations: int
+
+
+@dataclass
+class SearchReport:
+    """Everything a search run did (the CLI prints it; tests assert on it)."""
+
+    config: SearchConfig
+    samples: List[Tuple[ProfileSpec, ScoreCard]] = field(default_factory=list)
+    simulated: int = 0
+    replayed: int = 0
+    winners: List[Tuple[ProfileSpec, ScoreCard]] = field(default_factory=list)
+    shrunk: List[ShrinkRecord] = field(default_factory=list)
+    saved: List[Path] = field(default_factory=list)
+    ratchet: Optional[Dict[str, object]] = None
+
+    @property
+    def best(self) -> Optional[Tuple[ProfileSpec, ScoreCard]]:
+        if not self.samples:
+            return None
+        return max(self.samples, key=lambda pair: pair[1].share)
+
+
+def _card_from_entry(entry: Dict[str, object]) -> ScoreCard:
+    score = dict(entry["score"])
+    return ScoreCard(
+        workload=str(score["workload"]),
+        records=int(score["records"]),
+        prefetcher=str(score["prefetcher"]),
+        baseline_mpki=float(score["baseline_mpki"]),
+        reductions={k: float(v) for k, v in dict(score["reductions"]).items()},
+        share=float(score["share"]),
+    )
+
+
+def run_search(
+    config: SearchConfig,
+    runner: Optional[Runner] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> SearchReport:
+    """Execute one (resumable, deterministic) search run."""
+    say = log or (lambda message: None)
+    space = get_space(config.space)
+    if runner is None:
+        runner = Runner(records=config.records, prefetcher=config.prefetcher)
+    if runner.records != config.records:
+        raise ValueError(
+            f"runner simulates {runner.records} records, config wants "
+            f"{config.records}"
+        )
+    report = SearchReport(config=config)
+    journal = SearchJournal(config.resolved_journal_path())
+    replayed = {
+        fingerprint: entry
+        for fingerprint, entry in journal.replay().items()
+        if entry.get("score", {}).get("records") == config.records
+        and entry.get("score", {}).get("prefetcher") == config.prefetcher
+    }
+
+    def score(spec: ProfileSpec, kind: str) -> ScoreCard:
+        entry = replayed.get(spec.fingerprint)
+        if entry is not None:
+            report.replayed += 1
+            return _card_from_entry(entry)
+        card = score_profile(runner, spec.build())
+        report.simulated += 1
+        entry = {
+            "fingerprint": spec.fingerprint,
+            "kind": kind,
+            "spec": spec.to_jsonable(),
+            "score": card.to_jsonable(),
+        }
+        journal.record(entry)
+        replayed[spec.fingerprint] = entry
+        return card
+
+    with journal:
+        # -- sample ----------------------------------------------------------
+        for index in range(config.budget):
+            spec = space.sample(config.seed, index)
+            card = score(spec, kind="sample")
+            report.samples.append((spec, card))
+            say(
+                f"[{index + 1:>3}/{config.budget}] {spec.workload_name} "
+                f"share={card.share:.3f} "
+                f"(acic {card.reductions.get('acic', 0.0):+.2f} / "
+                f"opt {card.reductions.get('opt', 0.0):+.2f} MPKI)"
+            )
+
+        # -- rank ------------------------------------------------------------
+        ranked = sorted(
+            report.samples, key=lambda pair: pair[1].share, reverse=True
+        )
+        report.winners = [
+            (spec, card)
+            for spec, card in ranked[: config.top]
+            if card.share >= config.min_share
+        ]
+        say(
+            f"{len(report.winners)} winner(s) at share >= "
+            f"{config.min_share:.2f} out of {config.budget} samples"
+        )
+
+        # -- shrink ----------------------------------------------------------
+        if config.shrink:
+            seen: set = set()
+            for spec, card in report.winners:
+                result = shrink_spec(
+                    spec,
+                    lambda s: score(s, kind="shrink").share >= config.min_share,
+                    max_evaluations=config.shrink_evaluations,
+                )
+                final_card = score(result.spec, kind="shrink")
+                say(
+                    f"shrunk {spec.workload_name} -> "
+                    f"{result.spec.workload_name} in {result.steps} steps "
+                    f"({result.evaluations} evaluations), share "
+                    f"{card.share:.3f} -> {final_card.share:.3f}"
+                )
+                if result.spec.fingerprint in seen:
+                    continue
+                seen.add(result.spec.fingerprint)
+                report.shrunk.append(
+                    ShrinkRecord(
+                        original=spec,
+                        original_card=card,
+                        spec=result.spec,
+                        card=final_card,
+                        steps=result.steps,
+                        evaluations=result.evaluations,
+                    )
+                )
+
+    # -- persist -------------------------------------------------------------
+    if config.save:
+        for record in report.shrunk:
+            path = save_found_profile(
+                record.spec,
+                score=record.card.to_jsonable(),
+                provenance={
+                    "space": config.space,
+                    "seed": config.seed,
+                    "budget": config.budget,
+                    "min_share": config.min_share,
+                    "shrunk_from": record.original.workload_name,
+                    "shrink_steps": record.steps,
+                },
+            )
+            report.saved.append(path)
+            say(f"saved {path}")
+
+    if config.update_ratchet and report.shrunk:
+        best = max(report.shrunk, key=lambda record: record.card.share)
+        ratchet = read_ratchet()
+        current = ratchet.get("best_found", {})
+        if best.card.share > float(current.get("share", 0.0)):
+            ratchet["best_found"] = {
+                "name": best.spec.workload_name,
+                "share": best.card.share,
+                "records": best.card.records,
+                "prefetcher": best.card.prefetcher,
+            }
+            report.ratchet = ratchet
+            write_ratchet(ratchet)
+            say(
+                f"ratchet: best_found -> {best.spec.workload_name} "
+                f"share={best.card.share:.3f}"
+            )
+
+    return report

@@ -1,0 +1,98 @@
+"""Greedy, terminating shrinker for winning profile specs.
+
+Once the search finds a spec whose ACIC-vs-OPT share clears the bar,
+the raw draw is rarely *minimal*: most of its structure is incidental.
+``shrink_spec`` reduces it hypothesis-style — knob by knob, accepting
+any strictly-simpler candidate for which the predicate (re-scoring the
+candidate and checking the share direction) still holds, until a full
+pass over every knob makes no progress.
+
+Termination is structural: every candidate a strategy yields is
+strictly closer to that strategy's shrink target than the current
+value (integer distance on the knob's grid), so each accepted step
+decreases a well-founded measure and each rejected candidate is never
+retried from the same value.  An evaluation budget caps pathological
+predicates anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.workloads.search.strategies import ProfileSpec, get_space
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    spec: ProfileSpec          # the minimal spec found
+    steps: int                 # accepted simplification steps
+    evaluations: int           # predicate calls (cache misses only)
+    exhausted_budget: bool     # True when max_evaluations stopped us
+
+
+def shrink_spec(
+    spec: ProfileSpec,
+    predicate: Callable[[ProfileSpec], bool],
+    max_evaluations: int = 400,
+    on_step: Optional[Callable[[str, ProfileSpec], None]] = None,
+) -> ShrinkResult:
+    """Greedily minimize ``spec`` while ``predicate`` keeps holding.
+
+    ``predicate(spec)`` must be True for the input spec's property —
+    typically "this profile's ACIC share of OPT's reduction stays above
+    the bar".  The function never *assumes* it; callers establish it by
+    construction (the spec scored above the bar to get here).
+
+    Verdicts are memoized by fingerprint, so re-visiting an assignment
+    (different shrink paths converging) costs nothing, and the
+    evaluation budget counts only genuinely new specs.
+    """
+    space = get_space(spec.space)
+    verdicts: Dict[str, bool] = {spec.fingerprint: True}
+    evaluations = 0
+    steps = 0
+    exhausted = False
+
+    def holds(candidate: ProfileSpec) -> bool:
+        nonlocal evaluations, exhausted
+        cached = verdicts.get(candidate.fingerprint)
+        if cached is not None:
+            return cached
+        if evaluations >= max_evaluations:
+            exhausted = True
+            return False
+        evaluations += 1
+        verdict = bool(predicate(candidate))
+        verdicts[candidate.fingerprint] = verdict
+        return verdict
+
+    progress = True
+    while progress and not exhausted:
+        progress = False
+        for knob, strategy in space.knobs.items():
+            # Re-shrink the same knob until it stops improving: the
+            # candidate stream restarts from each newly-accepted value,
+            # which is what gives binary-search convergence.
+            improved = True
+            while improved and not exhausted:
+                improved = False
+                current = spec.as_dict()[knob]
+                for candidate_value in strategy.shrink_candidates(current):
+                    candidate = spec.replace(**{knob: candidate_value})
+                    if holds(candidate):
+                        spec = candidate
+                        steps += 1
+                        progress = True
+                        improved = True
+                        if on_step is not None:
+                            on_step(knob, spec)
+                        break
+    return ShrinkResult(
+        spec=spec,
+        steps=steps,
+        evaluations=evaluations,
+        exhausted_budget=exhausted,
+    )

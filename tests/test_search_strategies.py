@@ -1,0 +1,182 @@
+"""Contracts of the search strategy layer: draws, serialization, shrinking."""
+
+import json
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.workloads.search.shrink import shrink_spec
+from repro.workloads.search.strategies import (
+    FIG11_SPACE,
+    Integers,
+    IntPair,
+    ProfileSpec,
+    Quantized,
+    get_space,
+)
+
+
+class TestDraws:
+    def test_sample_is_deterministic(self):
+        assert FIG11_SPACE.sample(7, 3) == FIG11_SPACE.sample(7, 3)
+
+    def test_sample_index_independence(self):
+        """Sample i does not depend on whether earlier samples were drawn."""
+        forward = [FIG11_SPACE.sample(7, i) for i in range(4)]
+        backward = [FIG11_SPACE.sample(7, i) for i in reversed(range(4))]
+        assert forward == list(reversed(backward))
+
+    def test_draws_are_in_space(self):
+        rng = random.Random(99)
+        for _ in range(20):
+            spec = FIG11_SPACE.draw(rng)
+            # spec() re-validates every knob; a draw outside its own
+            # strategy would have raised already, so round-trip instead.
+            assert FIG11_SPACE.spec(spec.as_dict()) == spec
+
+    def test_spec_rejects_unknown_and_missing_knobs(self):
+        values = FIG11_SPACE.sample(0, 0).as_dict()
+        with pytest.raises(ValueError):
+            FIG11_SPACE.spec({k: v for k, v in values.items() if k != "seed"})
+        values["no_such_knob"] = 1
+        with pytest.raises(KeyError):
+            FIG11_SPACE.spec(values)
+
+    def test_spec_rejects_off_grid_floats(self):
+        spec = FIG11_SPACE.sample(0, 0)
+        with pytest.raises(ValueError):
+            spec.replace(call_prob=0.0123)  # not on the 0.02 grid
+
+
+class TestSerialization:
+    def test_round_trip_preserves_spec_and_fingerprint(self):
+        for index in range(10):
+            spec = FIG11_SPACE.sample(31, index)
+            wire = json.dumps(spec.to_jsonable(), sort_keys=True)
+            back = ProfileSpec.from_jsonable(json.loads(wire))
+            assert back == spec
+            assert back.fingerprint == spec.fingerprint
+            assert back.workload_name == spec.workload_name
+
+    def test_round_trip_through_build(self):
+        spec = FIG11_SPACE.sample(31, 2)
+        profile = spec.build()
+        assert profile.name == spec.workload_name
+        again = ProfileSpec.from_jsonable(spec.to_jsonable()).build()
+        assert again == profile
+
+    def test_fingerprint_stable_across_processes(self):
+        """The fingerprint is content-derived, not id()/hash-seed derived."""
+        spec = FIG11_SPACE.sample(31, 5)
+        code = (
+            "from repro.workloads.search.strategies import FIG11_SPACE;"
+            "s = FIG11_SPACE.sample(31, 5);"
+            "print(s.fingerprint, s.workload_name)"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+        ).stdout.split()
+        assert out == [spec.fingerprint, spec.workload_name]
+
+    def test_space_describe_stable_across_processes(self):
+        code = (
+            "from repro.workloads.search.strategies import FIG11_SPACE;"
+            "print(FIG11_SPACE.describe())"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        assert out == FIG11_SPACE.describe()
+
+    def test_unknown_space_raises(self):
+        with pytest.raises(KeyError):
+            get_space("no-such-space")
+        with pytest.raises(KeyError):
+            ProfileSpec.from_jsonable({"space": "no-such-space", "values": {}})
+
+
+class TestShrinkCandidates:
+    """Strategy-level shrink streams are finite and strictly simplifying."""
+
+    @pytest.mark.parametrize("strategy,value", [
+        (Integers(0, 100), 87),
+        (Integers(2, 48, target=2), 48),
+        (Quantized(0.0, 1.0, 0.05), 0.85),
+        (IntPair(1, 18), (6, 17)),
+    ])
+    def test_candidates_valid_and_distinct(self, strategy, value):
+        seen = list(strategy.shrink_candidates(value))
+        assert seen, "a non-minimal value must have shrink candidates"
+        assert len(seen) == len(set(seen))
+        for candidate in seen:
+            assert candidate != value
+            strategy.validate(candidate)
+
+    def test_minimal_value_has_no_candidates(self):
+        assert list(Integers(3, 9, target=3).shrink_candidates(3)) == []
+        assert list(Quantized(0.0, 1.0, 0.1).shrink_candidates(0.0)) == []
+        assert list(IntPair(2, 10).shrink_candidates((2, 2))) == []
+
+
+class TestShrinkSpec:
+    def test_shrink_terminates_and_reaches_minimum(self):
+        """With an always-true predicate every knob hits its target."""
+        spec = FIG11_SPACE.sample(5, 1)
+        result = shrink_spec(spec, lambda s: True, max_evaluations=10_000)
+        assert not result.exhausted_budget
+        minimal = result.spec.as_dict()
+        for knob, strategy in FIG11_SPACE.knobs.items():
+            assert not list(strategy.shrink_candidates(minimal[knob])), (
+                f"knob {knob} = {minimal[knob]!r} is not minimal"
+            )
+
+    def test_shrink_identity_when_predicate_rejects_all(self):
+        spec = FIG11_SPACE.sample(5, 2)
+        calls = []
+
+        def predicate(candidate):
+            calls.append(candidate)
+            return candidate == spec
+
+        result = shrink_spec(spec, predicate, max_evaluations=10_000)
+        assert result.spec == spec
+        assert result.steps == 0
+        # the original is memoized as passing, never re-evaluated
+        assert spec not in calls
+
+    def test_shrunk_spec_preserves_predicate(self):
+        """The result always satisfies the predicate it was shrunk under."""
+        spec = FIG11_SPACE.sample(5, 3)
+        predicate = lambda s: s.as_dict()["hot_functions"] >= 10
+        if not predicate(spec):
+            spec = spec.replace(hot_functions=37)
+        result = shrink_spec(spec, predicate, max_evaluations=10_000)
+        assert predicate(result.spec)
+        assert result.spec.as_dict()["hot_functions"] == 10
+
+    def test_shrink_respects_evaluation_budget(self):
+        spec = FIG11_SPACE.sample(5, 4)
+        budget = 7
+        calls = []
+
+        def predicate(candidate):
+            calls.append(candidate)
+            return True
+
+        result = shrink_spec(spec, predicate, max_evaluations=budget)
+        assert result.exhausted_budget
+        assert len(calls) <= budget
+        assert predicate(result.spec)
+
+    def test_shrink_is_deterministic(self):
+        spec = FIG11_SPACE.sample(5, 5)
+        predicate = lambda s: s.as_dict()["phases"][1] >= 4
+        if not predicate(spec):
+            spec = spec.replace(phases=(2, 9))
+        a = shrink_spec(spec, predicate, max_evaluations=10_000)
+        b = shrink_spec(spec, predicate, max_evaluations=10_000)
+        assert a.spec == b.spec and a.steps == b.steps
